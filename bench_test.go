@@ -1,0 +1,414 @@
+package spatialtf
+
+// One testing.B benchmark per paper table and figure, plus ablation
+// benches for the design choices called out in DESIGN.md §6. These run
+// at laptop scale; cmd/spatialbench reproduces the tables at any scale
+// with ratio reporting.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spatialtf/internal/bench"
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/idxbuild"
+	"spatialtf/internal/quadtree"
+	"spatialtf/internal/rtree"
+	"spatialtf/internal/sjoin"
+	"spatialtf/internal/storage"
+)
+
+// Shared fixtures, built once.
+var (
+	fixOnce     sync.Once
+	fixCounties sjoin.Source // 900 counties
+	fixStars    sjoin.Source // 5000 stars
+	fixBGTab    *storage.Table
+	fixBGDs     datagen.Dataset
+)
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		var err error
+		fixCounties, err = benchSource("bench_counties", datagen.Counties(900, 1))
+		if err != nil {
+			panic(err)
+		}
+		fixStars, err = benchSource("bench_stars", datagen.Stars(5000, 2))
+		if err != nil {
+			panic(err)
+		}
+		fixBGDs = datagen.BlockGroups(1500, 3)
+		fixBGTab, _, err = datagen.LoadTable("bench_bg", fixBGDs)
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+func benchSource(name string, ds datagen.Dataset) (sjoin.Source, error) {
+	tab, _, err := datagen.LoadTable(name, ds)
+	if err != nil {
+		return sjoin.Source{}, err
+	}
+	tree, _, err := idxbuild.CreateRtree(tab, "geom", 0, 1)
+	if err != nil {
+		return sjoin.Source{}, err
+	}
+	return sjoin.Source{Table: tab, Column: "geom", Tree: tree}, nil
+}
+
+// --- Table 1: counties self-join, nested loop vs index join ---
+
+func BenchmarkTable1NestedLoop(b *testing.B) {
+	fixtures(b)
+	for _, d := range []float64{0, 25} {
+		b.Run(fmt.Sprintf("distance=%g", d), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.Distance = d
+			for i := 0; i < b.N; i++ {
+				pairs, err := sjoin.NestedLoop(fixCounties, fixCounties, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pairs) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1IndexJoin(b *testing.B) {
+	fixtures(b)
+	for _, d := range []float64{0, 25} {
+		b.Run(fmt.Sprintf("distance=%g", d), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.Distance = d
+			for i := 0; i < b.N; i++ {
+				fn, err := sjoin.NewJoinFunction(fixCounties, fixCounties, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, _, err := sjoin.RunJoinFunction(fn, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// --- Table 2: star self-join scaling, serial vs parallel join ---
+
+func BenchmarkTable2IndexJoin(b *testing.B) {
+	fixtures(b)
+	cfg := sjoin.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sjoin.RunJoinFunction(fn, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ParallelJoin(b *testing.B) {
+	fixtures(b)
+	cfg := sjoin.DefaultConfig()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sjoin.SimulateParallelIndexJoin(fixStars, fixStars, cfg, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Pairs) == 0 {
+					b.Fatal("empty result")
+				}
+				b.ReportMetric(res.Elapsed.Seconds(), "sim-makespan-s")
+			}
+		})
+	}
+}
+
+func BenchmarkTable2NestedLoop(b *testing.B) {
+	fixtures(b)
+	cfg := sjoin.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := sjoin.NestedLoop(fixStars, fixStars, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: parallel index creation ---
+
+func BenchmarkTable3QuadtreeCreate(b *testing.B) {
+	fixtures(b)
+	grid, err := quadtree.NewGrid(fixBGDs.Bounds, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, stats, err := idxbuild.CreateQuadtreeSim(fixBGTab, "geom", grid, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(stats.Total.Seconds(), "sim-total-s")
+			}
+		})
+	}
+}
+
+func BenchmarkTable3RtreeCreate(b *testing.B) {
+	fixtures(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, stats, err := idxbuild.CreateRtreeSim(fixBGTab, "geom", 0, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(stats.Total.Seconds(), "sim-total-s")
+			}
+		})
+	}
+}
+
+// --- Figure 1: subtree-pair decomposition ---
+
+func BenchmarkFigure1SubtreePairs(b *testing.B) {
+	fixtures(b)
+	cfg := sjoin.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		pairs := sjoin.SubtreePairs(fixStars.Tree, fixStars.Tree, 1, cfg)
+		if len(pairs) == 0 {
+			b.Fatal("no subtree pairs")
+		}
+	}
+}
+
+// --- Figure 2: the tessellation pipeline ---
+
+func BenchmarkFigure2TessellationPipeline(b *testing.B) {
+	fixtures(b)
+	grid, err := quadtree.NewGrid(fixBGDs.Bounds, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_, stats, err := idxbuild.CreateQuadtree(fixBGTab, "geom", grid, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Entries == 0 {
+			b.Fatal("no tiles")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// Ablation 1: candidate fetch order — sorted by first rowid (paper) vs
+// arrival order.
+func BenchmarkAblationCandidateOrder(b *testing.B) {
+	fixtures(b)
+	for _, sorted := range []bool{true, false} {
+		b.Run(fmt.Sprintf("sorted=%v", sorted), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.SortCandidates = sorted
+			cfg.CandidateCap = 1 << 20
+			for i := 0; i < b.N; i++ {
+				fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := sjoin.RunJoinFunction(fn, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.GeomFetches), "geom-fetches")
+			}
+		})
+	}
+}
+
+// Ablation 2: subtree decomposition level for the parallel join.
+func BenchmarkAblationSubtreeLevel(b *testing.B) {
+	fixtures(b)
+	cfg := sjoin.DefaultConfig()
+	maxDescend := fixStars.Tree.Height() - 1
+	for d := 0; d <= maxDescend; d++ {
+		b.Run(fmt.Sprintf("descend=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pairs := sjoin.SubtreePairs(fixStars.Tree, fixStars.Tree, d, cfg)
+				b.ReportMetric(float64(len(pairs)), "tasks")
+			}
+		})
+	}
+}
+
+// Ablation 3: candidate array capacity (the paper's "determined by
+// existing memory resources").
+func BenchmarkAblationCandidateCap(b *testing.B) {
+	fixtures(b)
+	for _, cap := range []int{64, 1024, 16384, 1 << 20} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.CandidateCap = cap
+			for i := 0; i < b.N; i++ {
+				fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := sjoin.RunJoinFunction(fn, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 4: R-tree construction strategy — dynamic inserts vs STR
+// packing.
+func BenchmarkAblationRtreeBuild(b *testing.B) {
+	fixtures(b)
+	items := make([]rtree.Item, 0, fixBGTab.Len())
+	col, _ := fixBGTab.ColumnIndex("geom")
+	fixBGTab.Scan(func(id storage.RowID, row storage.Row) bool {
+		items = append(items, rtree.Item{MBR: geom.MBROf(row[col].G), ID: id})
+		return true
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rtree.New(0)
+			for _, it := range items {
+				if err := tr.Insert(it); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("str", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work := make([]rtree.Item, len(items))
+			copy(work, items)
+			rtree.BulkLoad(work, 0)
+		}
+	})
+}
+
+// Ablation 5: quadtree tiling level — tessellation cost vs candidate
+// precision.
+func BenchmarkAblationTilingLevel(b *testing.B) {
+	fixtures(b)
+	for _, level := range []int{5, 7, 9} {
+		b.Run(fmt.Sprintf("level=%d", level), func(b *testing.B) {
+			grid, err := quadtree.NewGrid(fixBGDs.Bounds, level)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				idx, stats, err := idxbuild.CreateQuadtree(fixBGTab, "geom", grid, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Entries), "tiles")
+				_ = idx
+			}
+		})
+	}
+}
+
+// Ablation 6: interior-approximation fast accept (the SSTD 2001
+// optimization) vs the plain two-stage join.
+func BenchmarkAblationInteriorApprox(b *testing.B) {
+	ds := datagen.Stars(5000, 29)
+	tab, _, err := datagen.LoadTable("bench_interior", ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, _, err := idxbuild.CreateRtreeOpts(tab, "geom", idxbuild.RtreeOptions{InteriorEffort: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sjoin.Source{Table: tab, Column: "geom", Tree: tree}
+	for _, use := range []bool{false, true} {
+		b.Run(fmt.Sprintf("interior=%v", use), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.UseInteriorApprox = use
+			for i := 0; i < b.N; i++ {
+				fn, err := sjoin.NewJoinFunction(src, src, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := sjoin.RunJoinFunction(fn, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.GeomFetches), "geom-fetches")
+				b.ReportMetric(float64(stats.FastAccepts), "fast-accepts")
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks for the substrates ---
+
+func BenchmarkGeomIntersectsPolyPoly(b *testing.B) {
+	fixtures(b)
+	gs := fixBGDs.Geoms
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.Intersects(gs[i%len(gs)], gs[(i+1)%len(gs)])
+	}
+}
+
+func BenchmarkRtreeWindowQuery(b *testing.B) {
+	fixtures(b)
+	q := geom.MBR{MinX: 400, MinY: 400, MaxX: 480, MaxY: 480}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fixStars.Tree.Search(q, func(rtree.Item) bool { return true })
+	}
+}
+
+func BenchmarkTessellateComplexPolygon(b *testing.B) {
+	fixtures(b)
+	grid, err := quadtree.NewGrid(fixBGDs.Bounds, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := fixBGDs.Geoms[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quadtree.Tessellate(grid, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sanity: the harness runs end-to-end at bench scale; keeps -bench runs
+// honest when benches are filtered.
+func BenchmarkHarnessTable1Tiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable1(bench.Table1Options{Counties: 64, Seed: 1, Distances: []float64{0}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].ResultSize == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}

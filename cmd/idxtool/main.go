@@ -1,0 +1,119 @@
+// Command idxtool builds spatial indexes over a generated dataset and
+// reports build statistics — a CLI front end for the paper's §5
+// parallel index creation.
+//
+// Usage:
+//
+//	idxtool -dataset blockgroups:5000 -kind quadtree -level 8 -workers 1,2,4
+//	idxtool -dataset counties:3230 -kind rtree -workers 1,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/idxbuild"
+	"spatialtf/internal/quadtree"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "blockgroups:2000", "dataset as name:count")
+		kind    = flag.String("kind", "rtree", "index kind: rtree or quadtree")
+		level   = flag.Int("level", 8, "quadtree tiling level")
+		fanout  = flag.Int("fanout", 0, "rtree node fanout (0 = default)")
+		workers = flag.String("workers", "1,2,4", "comma-separated parallel degrees to sweep")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	ds, err := parseDataset(*dataset, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	tab, _, err := datagen.LoadTable(ds.Name, ds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %d rows, %d total vertices\n", ds.Name, tab.Len(), ds.TotalVertices())
+
+	var sweep []int
+	for _, s := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			fatal(fmt.Errorf("bad workers list %q", *workers))
+		}
+		sweep = append(sweep, w)
+	}
+
+	fmt.Printf("%-10s %-12s %-12s %-12s %-10s\n", "workers", "total", "load", "build", "entries")
+	var base float64
+	for _, w := range sweep {
+		var stats idxbuild.Stats
+		switch *kind {
+		case "rtree":
+			tree, s, err := idxbuild.CreateRtree(tab, "geom", *fanout, w)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tree.Validate(); err != nil {
+				fatal(fmt.Errorf("built tree invalid: %w", err))
+			}
+			stats = s
+		case "quadtree":
+			grid, err := quadtree.NewGrid(ds.Bounds, *level)
+			if err != nil {
+				fatal(err)
+			}
+			_, s, err := idxbuild.CreateQuadtree(tab, "geom", grid, w)
+			if err != nil {
+				fatal(err)
+			}
+			stats = s
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kind))
+		}
+		speed := ""
+		if base == 0 {
+			base = stats.Total.Seconds()
+		} else if stats.Total.Seconds() > 0 {
+			speed = fmt.Sprintf(" (%.2fx speedup)", base/stats.Total.Seconds())
+		}
+		fmt.Printf("%-10d %-12s %-12s %-12s %-10d%s\n",
+			w,
+			fmt.Sprintf("%.3fs", stats.Total.Seconds()),
+			fmt.Sprintf("%.3fs", stats.LoadPhase.Seconds()),
+			fmt.Sprintf("%.3fs", stats.BuildPhase.Seconds()),
+			stats.Entries, speed)
+	}
+}
+
+func parseDataset(spec string, seed int64) (datagen.Dataset, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return datagen.Dataset{}, fmt.Errorf("dataset spec %q is not name:count", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return datagen.Dataset{}, fmt.Errorf("dataset spec %q has bad count", spec)
+	}
+	switch parts[0] {
+	case "counties":
+		return datagen.Counties(n, seed), nil
+	case "stars":
+		return datagen.Stars(n, seed), nil
+	case "blockgroups":
+		return datagen.BlockGroups(n, seed), nil
+	default:
+		return datagen.Dataset{}, fmt.Errorf("unknown dataset %q", parts[0])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "idxtool: %v\n", err)
+	os.Exit(1)
+}

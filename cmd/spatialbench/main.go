@@ -1,0 +1,123 @@
+// Command spatialbench regenerates the tables and figures of "Spatial
+// Processing using Oracle Table Functions" (ICDE 2003) on the synthetic
+// stand-in datasets.
+//
+// Usage:
+//
+//	spatialbench -table 1            # Table 1 (counties distance sweep)
+//	spatialbench -table 2            # Table 2 (star self-join scaling)
+//	spatialbench -table 3            # Table 3 (parallel index creation)
+//	spatialbench -figure 1           # Figure 1 (subtree pair grid)
+//	spatialbench -figure 2           # Figure 2 (tessellation pipeline)
+//	spatialbench -all                # everything
+//
+// The default -scale 0.1 runs each experiment at a tenth of the paper's
+// dataset sizes (minutes on a laptop); -scale 1 uses the full 3230 /
+// 250K / 230K row counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spatialtf/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "regenerate this paper table (1, 2 or 3)")
+		figure  = flag.Int("figure", 0, "regenerate this paper figure (1 or 2)")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		scale   = flag.Float64("scale", 0.1, "dataset scale relative to the paper (1 = full size)")
+		seed    = flag.Int64("seed", 1, "dataset generator seed")
+		workers = flag.Int("workers", 2, "parallel degree for the Table 2 parallel join column")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s (scale %.2g) ===\n", name, *scale)
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s elapsed)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *all || *table == 1 {
+		run("Table 1", func() error {
+			opt := bench.DefaultTable1Options()
+			opt.Counties = scaled(opt.Counties, *scale)
+			opt.Seed = *seed
+			rows, err := bench.RunTable1(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable1(rows))
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		run("Table 2", func() error {
+			opt := bench.DefaultTable2Options()
+			for i := range opt.Sizes {
+				opt.Sizes[i] = scaled(opt.Sizes[i], *scale)
+			}
+			opt.Seed = *seed
+			opt.Workers2 = *workers
+			rows, err := bench.RunTable2(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable2(rows))
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("Table 3", func() error {
+			opt := bench.DefaultTable3Options()
+			opt.BlockGroups = scaled(opt.BlockGroups, *scale)
+			opt.Seed = *seed
+			rows, err := bench.RunTable3(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTable3(rows))
+			return nil
+		})
+	}
+	if *all || *figure == 1 {
+		run("Figure 1", func() error {
+			r, err := bench.RunFigure1(scaled(20000, *scale), *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFigure1(r))
+			return nil
+		})
+	}
+	if *all || *figure == 2 {
+		run("Figure 2", func() error {
+			r, err := bench.RunFigure2(scaled(5000, *scale), 4, *seed, 8)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFigure2(r))
+			return nil
+		})
+	}
+}
+
+// scaled applies the scale factor with a sane floor.
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 25 {
+		v = 25
+	}
+	return v
+}

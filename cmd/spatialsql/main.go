@@ -1,0 +1,191 @@
+// Command spatialsql is an interactive SQL shell over the spatial
+// engine, accepting exactly the statement forms used in the paper:
+//
+//	CREATE TABLE cities (id INT, name VARCHAR, geom GEOMETRY);
+//	INSERT INTO cities VALUES (1, 'springfield', 'POLYGON ((10 10, 14 10, 14 14, 10 14, 10 10))');
+//	CREATE INDEX cities_idx ON cities(geom) INDEXTYPE IS RTREE PARALLEL 2;
+//	SELECT name FROM cities WHERE sdo_relate(geom, 'POINT (12 12)', 'mask=contains') = 'TRUE';
+//	SELECT count(*) FROM TABLE(spatial_join('cities','geom','cities','geom','anyinteract', 2));
+//
+// Meta commands: \load <counties|stars|blockgroups> <n> [seed] creates
+// and fills a table from a synthetic dataset; \tables lists tables from
+// the index metadata; \q quits. Statements may span lines and end with
+// a semicolon. A file of statements can be piped on stdin.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialtf"
+	"spatialtf/internal/sqlmini"
+)
+
+func main() {
+	eng := sqlmini.NewEngine()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isatty()
+	if interactive {
+		fmt.Println("spatialtf SQL shell — \\q to quit, \\load <dataset> <n> to load data")
+	}
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(eng, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmtText := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if stmtText != "" {
+				runStatement(eng, stmtText)
+			}
+		}
+		prompt()
+	}
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		runStatement(eng, rest)
+	}
+}
+
+func runStatement(eng *sqlmini.Engine, sql string) {
+	t0 := time.Now()
+	res, err := eng.Execute(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("elapsed: %s\n", time.Since(t0).Round(time.Microsecond))
+}
+
+// meta handles backslash commands; returns false to quit.
+func meta(eng *sqlmini.Engine, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\tables":
+		metas, err := eng.DB().IndexMetadata()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		if len(metas) == 0 {
+			fmt.Println("(no spatial indexes; tables without indexes are not listed)")
+		}
+		for _, m := range metas {
+			fmt.Printf("%s.%s indexed by %s (%s)\n", m.TableName, m.ColumnName, m.IndexName, m.Kind)
+		}
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\save <file>")
+			return true
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		err = eng.DB().Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		fmt.Printf("database saved to %s\n", fields[1])
+	case "\\restore":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\restore <file>")
+			return true
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		db, err := spatialtf.Restore(f, 0)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		*eng = *sqlmini.NewEngineOn(db)
+		fmt.Printf("database restored from %s\n", fields[1])
+	case "\\load":
+		if len(fields) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: \\load <counties|stars|blockgroups> <n> [seed]")
+			return true
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad count %q\n", fields[2])
+			return true
+		}
+		seed := int64(1)
+		if len(fields) > 3 {
+			s, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad seed %q\n", fields[3])
+				return true
+			}
+			seed = s
+		}
+		var ds spatialtf.Dataset
+		switch fields[1] {
+		case "counties":
+			ds = spatialtf.Counties(n, seed)
+		case "stars":
+			ds = spatialtf.Stars(n, seed)
+		case "blockgroups":
+			ds = spatialtf.BlockGroups(n, seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", fields[1])
+			return true
+		}
+		t0 := time.Now()
+		if _, err := eng.DB().LoadDataset(fields[1], ds); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		fmt.Printf("loaded %d rows into table %s in %s\n", n, fields[1], time.Since(t0).Round(time.Millisecond))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
+	}
+	return true
+}
+
+// isatty reports whether stdin looks interactive (best effort, stdlib
+// only).
+func isatty() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

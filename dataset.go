@@ -1,0 +1,47 @@
+package spatialtf
+
+import (
+	"fmt"
+
+	"spatialtf/internal/datagen"
+)
+
+// Dataset is a generated geometry collection; see the Counties, Stars
+// and BlockGroups generators, which synthesize stand-ins for the
+// paper's proprietary evaluation datasets.
+type Dataset = datagen.Dataset
+
+// World is the coordinate domain of the generated datasets, to be used
+// as quadtree Bounds.
+var World = datagen.World
+
+// Counties generates n contiguous county-like polygons (the paper's
+// 3230-county dataset is Counties(3230, seed)).
+func Counties(n int, seed int64) Dataset { return datagen.Counties(n, seed) }
+
+// Stars generates n clustered small polygons (the paper's 250K star
+// dataset is Stars(250000, seed)).
+func Stars(n int, seed int64) Dataset { return datagen.Stars(n, seed) }
+
+// BlockGroups generates n complex polygons (the paper's 230K US block
+// groups dataset is BlockGroups(230000, seed)).
+func BlockGroups(n int, seed int64) Dataset { return datagen.BlockGroups(n, seed) }
+
+// LoadDataset creates a spatial table named ds.Name (or tableName if
+// non-empty) and inserts every geometry, returning the table handle.
+func (db *DB) LoadDataset(tableName string, ds Dataset) (*Table, error) {
+	name := tableName
+	if name == "" {
+		name = ds.Name
+	}
+	t, err := db.CreateSpatialTable(name)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range ds.Geoms {
+		if _, err := t.Insert(Int(int64(i)), Str(fmt.Sprintf("%s-%d", ds.Name, i)), Geom(g)); err != nil {
+			return nil, fmt.Errorf("spatialtf: load %q row %d: %w", name, i, err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package spatialtf_test
+
+import (
+	"fmt"
+	"log"
+
+	"spatialtf"
+)
+
+// Example shows the end-to-end flow: tables, an index, an operator
+// query, and the spatial_join table function.
+func Example() {
+	db := spatialtf.Open()
+	cities, err := db.CreateSpatialTable("cities")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cities.Add("springfield", spatialtf.MustRect(10, 10, 14, 14))
+	cities.Add("ogdenville", spatialtf.MustRect(40, 40, 44, 45))
+	if _, err := db.CreateIndex("cities_idx", "cities", spatialtf.RTree, spatialtf.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	hits, err := db.Relate("cities", "cities_idx", spatialtf.MustRect(0, 0, 20, 20), "anyinteract")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window query: %d city\n", len(hits))
+
+	cur, err := db.SpatialJoin("cities", "cities_idx", "cities", "cities_idx",
+		spatialtf.JoinOptions{Mask: "anyinteract"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, err := cur.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-join: %d pairs\n", len(pairs))
+	// Output:
+	// window query: 1 city
+	// self-join: 2 pairs
+}
+
+// ExampleDB_Nearest ranks rows by exact distance through the R-tree's
+// incremental nearest-neighbour traversal.
+func ExampleDB_Nearest() {
+	db := spatialtf.Open()
+	t, _ := db.CreateSpatialTable("pts")
+	t.Add("a", spatialtf.NewPoint(1, 1))
+	t.Add("b", spatialtf.NewPoint(5, 5))
+	t.Add("c", spatialtf.NewPoint(100, 100))
+	if _, err := db.CreateIndex("pts_idx", "pts", spatialtf.RTree, spatialtf.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	nbs, err := db.Nearest("pts", "pts_idx", spatialtf.NewPoint(0, 0), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range nbs {
+		row, _ := t.Fetch(nb.ID)
+		fmt.Printf("%s at %.2f\n", row[1].S, nb.Dist)
+	}
+	// Output:
+	// a at 1.41
+	// b at 7.07
+}
+
+// ExampleDB_SpatialJoin_parallel runs the §4.1 parallel join: the
+// subtree-pair decomposition spreads the work over table-function
+// instances, and results stream back through one cursor.
+func ExampleDB_SpatialJoin_parallel() {
+	db := spatialtf.Open()
+	if _, err := db.LoadDataset("stars", spatialtf.Stars(1000, 7)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.CreateIndex("si", "stars", spatialtf.RTree, spatialtf.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	serial, _ := db.SpatialJoin("stars", "si", "stars", "si", spatialtf.JoinOptions{})
+	sp, err := serial.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallel, _ := db.SpatialJoin("stars", "si", "stars", "si", spatialtf.JoinOptions{Parallel: 4})
+	pp, err := parallel.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial and parallel agree: %v\n", len(sp) == len(pp))
+	// Output:
+	// serial and parallel agree: true
+}
+
+// ExampleParseWKT round-trips a polygon with a hole through WKT.
+func ExampleParseWKT() {
+	g, err := spatialtf.ParseWKT("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("area: %g\n", g.Area())
+	// Output:
+	// area: 96
+}

@@ -1,0 +1,117 @@
+// Quickstart: create a spatial table, index it, run window queries and
+// a spatial join — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatialtf"
+)
+
+func main() {
+	db := spatialtf.Open()
+
+	// A table of city footprints (id INT, name VARCHAR, geom GEOMETRY).
+	cities, err := db.CreateSpatialTable("cities")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, g := range map[string]spatialtf.Geometry{
+		"springfield": spatialtf.MustRect(10, 10, 14, 14),
+		"shelbyville": spatialtf.MustRect(20, 12, 23, 16),
+		"ogdenville":  spatialtf.MustRect(40, 40, 44, 45),
+	} {
+		if _, err := cities.Add(name, g); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A table of rivers (line strings), parsed from WKT.
+	rivers, err := db.CreateSpatialTable("rivers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, wkt := range map[string]string{
+		"long_river":  "LINESTRING (5 12, 16 13, 30 14, 50 15)",
+		"short_creek": "LINESTRING (41 20, 42 30, 43 41)",
+	} {
+		g, err := spatialtf.ParseWKT(wkt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rivers.Add(name, g); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Spatial R-tree indexes on both geometry columns. DML after index
+	// creation is maintained automatically.
+	if _, err := db.CreateIndex("cities_idx", "cities", spatialtf.RTree, spatialtf.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.CreateIndex("rivers_idx", "rivers", spatialtf.RTree, spatialtf.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Window query: which cities interact with this rectangle?
+	window := spatialtf.MustRect(8, 8, 25, 18)
+	hits, err := db.Relate("cities", "cities_idx", window, "anyinteract")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cities intersecting %v:\n", window)
+	for _, id := range hits {
+		row, err := cities.Fetch(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", row[1].S)
+	}
+
+	// Within-distance query.
+	near, err := db.WithinDistance("cities", "cities_idx", spatialtf.NewPoint(30, 14), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cities within 8 units of POINT(30 14): %d\n", len(near))
+
+	// The paper's headline operation — the spatial join as a pipelined
+	// table function:
+	//
+	//	select count(*) from city_table a, river_table b
+	//	where (a.rowid, b.rowid) in
+	//	  (select rid1, rid2 from TABLE(spatial_join(
+	//	     'city_table','city_geom','river_table','river_geom','intersect')));
+	cur, err := db.SpatialJoin("cities", "cities_idx", "rivers", "rivers_idx",
+		spatialtf.JoinOptions{Mask: "anyinteract"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("city-river intersections:")
+	for {
+		p, ok, err := cur.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		c, _ := cities.Fetch(p.A)
+		r, _ := rivers.Fetch(p.B)
+		fmt.Printf("  %s crosses %s\n", r[1].S, c[1].S)
+	}
+	cur.Close()
+
+	// Index catalogue (the metadata table of the extensible-indexing
+	// framework).
+	metas, err := db.IndexMetadata()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spatial index metadata:")
+	for _, m := range metas {
+		fmt.Printf("  %s on %s.%s kind=%s fanout=%d rows=%d\n",
+			m.IndexName, m.TableName, m.ColumnName, m.Kind, m.Fanout, m.RowsIndexed)
+	}
+}

@@ -1,0 +1,3 @@
+module spatialtf
+
+go 1.24

@@ -1,0 +1,169 @@
+package spatialtf
+
+import (
+	"fmt"
+
+	"spatialtf/internal/extidx"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/quadtree"
+	"spatialtf/internal/rtree"
+)
+
+// IndexOptions tunes spatial index creation — the PARAMETERS clause.
+type IndexOptions struct {
+	// Fanout is the R-tree node capacity (0 = default 32).
+	Fanout int
+	// TilingLevel is the quadtree fixed tiling level; required for
+	// Quadtree indexes.
+	TilingLevel int
+	// Bounds is the indexed coordinate domain; required for Quadtree
+	// indexes.
+	Bounds MBR
+	// Parallel is the degree of parallelism for index creation (the
+	// paper's §5); 0 or 1 builds sequentially.
+	Parallel int
+	// InteriorEffort, when positive, computes interior approximations
+	// for R-tree entries at index creation (and on DML maintenance).
+	// Joins over such indexes may set JoinOptions.UseInteriorApprox to
+	// fast-accept candidates without fetching exact geometries.
+	InteriorEffort int
+}
+
+// Index is a handle on a created spatial index.
+type Index struct {
+	db    *DB
+	name  string
+	inner extidx.SpatialIndex
+	meta  extidx.Metadata
+}
+
+// CreateIndex builds a spatial index of the given kind on table.geom
+// column "geom"; use CreateIndexOn for a custom column. It corresponds
+// to CREATE INDEX ... INDEXTYPE IS mdsys.spatial_index, optionally with
+// the PARALLEL clause.
+func (db *DB) CreateIndex(name, table string, kind IndexKind, opt IndexOptions) (*Index, error) {
+	return db.CreateIndexOn(name, table, "geom", kind, opt)
+}
+
+// CreateIndexOn builds a spatial index on an explicit geometry column.
+func (db *DB) CreateIndexOn(name, table, column string, kind IndexKind, opt IndexOptions) (*Index, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := db.reg.CreateIndex(name, kind, t.inner, column, extidx.Params{
+		Fanout:         opt.Fanout,
+		TilingLevel:    opt.TilingLevel,
+		Bounds:         opt.Bounds,
+		BuildWorkers:   opt.Parallel,
+		InteriorEffort: opt.InteriorEffort,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meta, err := db.reg.Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{db: db, name: name, inner: idx, meta: meta}, nil
+}
+
+// Index returns the handle of a previously created index.
+func (db *DB) Index(name string) (*Index, error) {
+	idx, err := db.reg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := db.reg.Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{db: db, name: name, inner: idx, meta: meta}, nil
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Metadata describes a created index — the row from the spatial index
+// metadata table.
+type Metadata = extidx.Metadata
+
+// Meta returns the index metadata, including the table and column the
+// index was created on.
+func (ix *Index) Meta() Metadata { return ix.meta }
+
+// rtree returns the backing R-tree or an error for other kinds.
+func (ix *Index) rtree() (*rtree.Tree, error) {
+	type treeHolder interface{ Tree() *rtree.Tree }
+	if h, ok := ix.inner.(treeHolder); ok {
+		return h.Tree(), nil
+	}
+	return nil, fmt.Errorf("spatialtf: index %q is not an R-tree", ix.name)
+}
+
+// qindex returns the backing quadtree or an error for other kinds.
+func (ix *Index) qindex() (*quadtree.Index, error) {
+	type qtHolder interface{ Index() *quadtree.Index }
+	if h, ok := ix.inner.(qtHolder); ok {
+		return h.Index(), nil
+	}
+	return nil, fmt.Errorf("spatialtf: index %q is not a quadtree", ix.name)
+}
+
+// IndexMetadata lists the metadata table — one row per created index.
+func (db *DB) IndexMetadata() ([]Metadata, error) {
+	return db.reg.MetadataRows()
+}
+
+// Relate evaluates the sdo_relate operator: rowids of rows in table
+// whose geometry satisfies the mask against q, using the named index.
+// Masks are the operator names of the paper ("anyinteract"/"intersect",
+// "inside", "contains", "touch", "covers", "coveredby", "equal",
+// "overlap").
+func (db *DB) Relate(table, index string, q Geometry, mask string) ([]RowID, error) {
+	m, err := geom.ParseMask(mask)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := db.Index(index)
+	if err != nil {
+		return nil, err
+	}
+	meta := ix.Meta()
+	return extidx.Relate(ix.inner, t.inner, meta.ColumnName, q, m)
+}
+
+// Neighbor is one ranked nearest-neighbour result.
+type Neighbor = extidx.Neighbor
+
+// Nearest returns the k rows of table closest to q in exact geometry
+// distance, ranked — the sdo_nn operator. The index must be an R-tree.
+func (db *DB) Nearest(table, index string, q Geometry, k int) ([]Neighbor, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := db.Index(index)
+	if err != nil {
+		return nil, err
+	}
+	return extidx.Nearest(ix.inner, t.inner, ix.Meta().ColumnName, q, k)
+}
+
+// WithinDistance evaluates the sdo_within_distance operator.
+func (db *DB) WithinDistance(table, index string, q Geometry, d float64) ([]RowID, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := db.Index(index)
+	if err != nil {
+		return nil, err
+	}
+	meta := ix.Meta()
+	return extidx.WithinDistance(ix.inner, t.inner, meta.ColumnName, q, d)
+}

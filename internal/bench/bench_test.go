@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The harness tests run miniature configurations; the real sizes run in
+// the repository-root benchmarks and cmd/spatialbench.
+
+func TestRunTable1Small(t *testing.T) {
+	// 100 counties tile a 10x10 grid of 100-unit cells; 80 units pulls
+	// in next-ring neighbours.
+	rows, err := RunTable1(Table1Options{
+		Counties:  100,
+		Seed:      1,
+		Distances: []float64{0, 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].ResultSize == 0 {
+		t.Errorf("d=0 result empty")
+	}
+	if rows[1].ResultSize <= rows[0].ResultSize {
+		t.Errorf("result did not grow with distance: %d then %d", rows[0].ResultSize, rows[1].ResultSize)
+	}
+	for _, r := range rows {
+		if r.NestedLoop <= 0 || r.IndexJoin <= 0 {
+			t.Errorf("missing timings: %+v", r)
+		}
+	}
+	// The index join must do far fewer logical index accesses than the
+	// nested loop — the metric in which the paper's gap reproduces.
+	for _, r := range rows {
+		if r.IJGets >= r.NLGets {
+			t.Errorf("d=%g: index join gets %d >= nested loop gets %d", r.Distance, r.IJGets, r.NLGets)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Gets ratio") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunTable2Small(t *testing.T) {
+	rows, err := RunTable2(Table2Options{
+		Sizes:               []int{25, 500},
+		Seed:                2,
+		Workers2:            2,
+		SkipNestedLoopAbove: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].NLSkipped {
+		t.Errorf("n=25 nested loop skipped")
+	}
+	if !rows[1].NLSkipped {
+		t.Errorf("n=500 nested loop not skipped despite bound")
+	}
+	if rows[1].ResultSize < rows[1].DataSize {
+		t.Errorf("self-join result %d smaller than data size", rows[1].ResultSize)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "(skipped)") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunTable3Small(t *testing.T) {
+	rows, err := RunTable3(Table3Options{
+		BlockGroups: 400,
+		Seed:        3,
+		Workers:     []int{1, 2},
+		TilingLevel: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Quadtree <= 0 || r.Rtree <= 0 {
+			t.Errorf("missing timings: %+v", r)
+		}
+		// The Table 3 premise: quadtree creation costs more than R-tree
+		// creation on complex polygons.
+		if r.Quadtree < r.Rtree {
+			t.Errorf("workers=%d: quadtree %v faster than rtree %v", r.Workers, r.Quadtree, r.Rtree)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Speedup at 2 processors") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	r, err := RunFigure1(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RootsA < 2 || r.RootsB < 2 {
+		t.Fatalf("too few subtree roots: %d, %d", r.RootsA, r.RootsB)
+	}
+	if len(r.Pairs)+r.PrunedPairs != r.RootsA*r.RootsB {
+		t.Errorf("pairs %d + pruned %d != cross product %d", len(r.Pairs), r.PrunedPairs, r.RootsA*r.RootsB)
+	}
+	for _, label := range r.Pairs {
+		if !strings.HasPrefix(label, "(R1") || !strings.Contains(label, ", S1") {
+			t.Errorf("bad pair label %q", label)
+		}
+	}
+	out := FormatFigure1(r)
+	if !strings.Contains(out, "Join pairs of subtrees") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunFigure2(t *testing.T) {
+	r, err := RunFigure2(300, 3, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GeometryRows != 300 {
+		t.Fatalf("geometry rows = %d", r.GeometryRows)
+	}
+	total := 0
+	for _, p := range r.Partitions {
+		total += p
+	}
+	if total != 300 {
+		t.Errorf("partitions cover %d rows", total)
+	}
+	if len(r.Partitions) != 3 {
+		t.Errorf("partition count = %d", len(r.Partitions))
+	}
+	if r.TileRows == 0 || r.IndexEntries != r.TileRows {
+		t.Errorf("tile rows %d, index entries %d", r.TileRows, r.IndexEntries)
+	}
+	out := FormatFigure2(r)
+	if !strings.Contains(out, "tessellator instances") {
+		t.Errorf("format output:\n%s", out)
+	}
+}

@@ -1,0 +1,353 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("k%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("v%d", i)) }
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, err := tr.Get(key(i))
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Errorf("Get(%d) = %q", i, v)
+		}
+	}
+	if _, err := tr.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("a"), []byte("1"))
+	tr.Insert([]byte("a"), []byte("2"))
+	if tr.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", tr.Len())
+	}
+	v, _ := tr.Get([]byte("a"))
+	if string(v) != "2" {
+		t.Errorf("overwrite lost: %q", v)
+	}
+}
+
+func TestInsertRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New()
+	perm := rng.Perm(5000)
+	for _, i := range perm {
+		tr.Insert(key(i), val(i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// In-order scan must be sorted and complete.
+	var prev []byte
+	n := 0
+	tr.Ascend(func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order at %q", k)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 5000 {
+		t.Errorf("scan saw %d keys", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := tr.Delete(key(i)); err != nil {
+			t.Fatalf("Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		_, err := tr.Get(key(i))
+		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Errorf("deleted key %d still present (%v)", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Errorf("surviving key %d lost: %v", i, err)
+		}
+	}
+	if err := tr.Delete(key(0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	var got []string
+	tr.AscendRange(key(10), key(15), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"k00000010", "k00000011", "k00000012", "k00000013", "k00000014"}
+	if len(got) != len(want) {
+		t.Fatalf("range scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.AscendRange(nil, nil, func(k, v []byte) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Empty range.
+	n = 0
+	tr.AscendRange(key(50), key(50), func(k, v []byte) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("empty range visited %d", n)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New()
+	keys := []string{"aa1", "aa2", "ab1", "b", "aa", "a"}
+	for _, k := range keys {
+		tr.Insert([]byte(k), []byte(k))
+	}
+	var got []string
+	tr.AscendPrefix([]byte("aa"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"aa", "aa1", "aa2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("prefix scan = %v, want %v", got, want)
+	}
+}
+
+func TestPrefixUpperBound(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0xAB, 0x00}, []byte{0xAB, 0x01}},
+	}
+	for _, c := range cases {
+		got := prefixUpperBound(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("prefixUpperBound(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4097} {
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Key: key(rng.Intn(n * 2)), Value: val(i)}
+		}
+		bulk := BulkLoad(append([]Entry(nil), entries...))
+		if err := bulk.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		inc := New()
+		for _, e := range entries {
+			inc.Insert(e.Key, e.Value)
+		}
+		if bulk.Len() != inc.Len() {
+			t.Fatalf("n=%d: bulk Len %d, incremental %d", n, bulk.Len(), inc.Len())
+		}
+		var bk, ik []string
+		bulk.Ascend(func(k, v []byte) bool { bk = append(bk, string(k)+"="+string(v)); return true })
+		inc.Ascend(func(k, v []byte) bool { ik = append(ik, string(k)+"="+string(v)); return true })
+		if fmt.Sprint(bk) != fmt.Sprint(ik) {
+			t.Fatalf("n=%d: bulk and incremental trees differ", n)
+		}
+	}
+}
+
+func TestParallelBulkLoadEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	entries := make([]Entry, 10000)
+	for i := range entries {
+		entries[i] = Entry{Key: key(rng.Intn(20000)), Value: val(i)}
+	}
+	serial := BulkLoad(append([]Entry(nil), entries...))
+	for _, w := range []int{1, 2, 4, 8} {
+		par := ParallelBulkLoad(append([]Entry(nil), entries...), w)
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("workers=%d: Len %d vs %d", w, par.Len(), serial.Len())
+		}
+		var sk, pk []string
+		serial.Ascend(func(k, v []byte) bool { sk = append(sk, string(k)); return true })
+		par.Ascend(func(k, v []byte) bool { pk = append(pk, string(k)); return true })
+		if fmt.Sprint(sk) != fmt.Sprint(pk) {
+			t.Fatalf("workers=%d: key sets differ", w)
+		}
+	}
+}
+
+func TestBulkLoadDuplicatesKeepLast(t *testing.T) {
+	entries := []Entry{
+		{Key: []byte("x"), Value: []byte("1")},
+		{Key: []byte("x"), Value: []byte("2")},
+	}
+	tr := BulkLoad(entries)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get([]byte("x"))
+	if string(v) != "2" {
+		t.Errorf("kept %q, want last value", v)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				k := rng.Intn(10000)
+				if v, err := tr.Get(key(k)); err != nil || !bytes.Equal(v, val(k)) {
+					t.Errorf("Get(%d) = %q, %v", k, v, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestStats(t *testing.T) {
+	tr := New()
+	s := tr.Stats()
+	if s.Entries != 0 || s.Height != 1 || s.Leaves != 1 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	for i := 0; i < 10000; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	s = tr.Stats()
+	if s.Entries != 10000 || s.Height < 2 || s.Leaves < 10000/(degree+1) {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// Property: scanning any tree built from random inserts yields exactly
+// the sorted set of distinct inserted keys.
+func TestScanIsSortedSetProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		tr := New()
+		set := map[string]bool{}
+		for _, k := range raw {
+			if len(k) == 0 {
+				continue
+			}
+			tr.Insert(k, k)
+			set[string(k)] = true
+		}
+		var want []string
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		tr.Ascend(func(k, v []byte) bool { got = append(got, string(k)); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a range scan agrees with filtering a full scan.
+func TestRangeScanAgreesWithFilterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New()
+	var keys [][]byte
+	for i := 0; i < 3000; i++ {
+		k := []byte(fmt.Sprintf("%06d", rng.Intn(100000)))
+		tr.Insert(k, k)
+		keys = append(keys, k)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := []byte(fmt.Sprintf("%06d", rng.Intn(100000)))
+		hi := []byte(fmt.Sprintf("%06d", rng.Intn(100000)))
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		var fromRange []string
+		tr.AscendRange(lo, hi, func(k, v []byte) bool {
+			fromRange = append(fromRange, string(k))
+			return true
+		})
+		var fromFilter []string
+		tr.Ascend(func(k, v []byte) bool {
+			if bytes.Compare(k, lo) >= 0 && bytes.Compare(k, hi) < 0 {
+				fromFilter = append(fromFilter, string(k))
+			}
+			return true
+		})
+		if fmt.Sprint(fromRange) != fmt.Sprint(fromFilter) {
+			t.Fatalf("range [%s,%s): %v vs %v", lo, hi, fromRange, fromFilter)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entry is one key/value pair for bulk loading.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// BulkLoad builds a tree bottom-up from entries, which need not be
+// sorted (they are sorted in place). Duplicate keys keep the last
+// occurrence, matching Insert-overwrite semantics. Bulk loading packs
+// leaves to ~100% occupancy, the analogue of Oracle's fast B-tree
+// creation path used when a spatial index is built (rather than
+// maintained row by row).
+func BulkLoad(entries []Entry) *Tree {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].Key, entries[j].Key) < 0
+	})
+	return loadSorted(dedupe(entries))
+}
+
+// ParallelBulkLoad builds the tree using workers goroutines to sort
+// partitions of entries concurrently before a single merge and a
+// bottom-up load. It is the "parallel B-tree index" half of the paper's
+// quadtree creation pipeline: parallel table functions tessellate in
+// parallel, then the tile-code B-tree is built with the parallel clause.
+func ParallelBulkLoad(entries []Entry, workers int) *Tree {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || len(entries) < 2*workers {
+		return BulkLoad(entries)
+	}
+	// Sort chunks concurrently.
+	chunkLen := (len(entries) + workers - 1) / workers
+	var wg sync.WaitGroup
+	var chunks [][]Entry
+	for start := 0; start < len(entries); start += chunkLen {
+		end := start + chunkLen
+		if end > len(entries) {
+			end = len(entries)
+		}
+		chunk := entries[start:end]
+		chunks = append(chunks, chunk)
+		wg.Add(1)
+		go func(c []Entry) {
+			defer wg.Done()
+			sort.SliceStable(c, func(i, j int) bool {
+				return bytes.Compare(c[i].Key, c[j].Key) < 0
+			})
+		}(chunk)
+	}
+	wg.Wait()
+	return loadSorted(dedupe(mergeChunks(chunks)))
+}
+
+// mergeChunks k-way merges sorted runs. With the small worker counts
+// used here (≤ 16) a simple linear-scan heap substitute suffices.
+func mergeChunks(chunks [][]Entry) []Entry {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]Entry, 0, total)
+	pos := make([]int, len(chunks))
+	for len(out) < total {
+		best := -1
+		for i, c := range chunks {
+			if pos[i] >= len(c) {
+				continue
+			}
+			if best == -1 || bytes.Compare(c[pos[i]].Key, chunks[best][pos[best]].Key) < 0 {
+				best = i
+			}
+		}
+		out = append(out, chunks[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// dedupe collapses runs of equal keys, keeping the last value, in a
+// sorted slice.
+func dedupe(entries []Entry) []Entry {
+	if len(entries) < 2 {
+		return entries
+	}
+	out := entries[:1]
+	for _, e := range entries[1:] {
+		if bytes.Equal(out[len(out)-1].Key, e.Key) {
+			out[len(out)-1] = e
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// loadSorted builds the tree bottom-up from strictly ascending entries.
+func loadSorted(entries []Entry) *Tree {
+	t := New()
+	if len(entries) == 0 {
+		return t
+	}
+	// Build packed leaves.
+	var leaves []*node
+	for start := 0; start < len(entries); start += degree {
+		end := start + degree
+		if end > len(entries) {
+			end = len(entries)
+		}
+		leaf := &node{
+			keys: make([][]byte, end-start),
+			vals: make([][]byte, end-start),
+		}
+		for i := start; i < end; i++ {
+			leaf.keys[i-start] = entries[i].Key
+			leaf.vals[i-start] = entries[i].Value
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = leaf
+		}
+		leaves = append(leaves, leaf)
+	}
+	// Build internal levels until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		var parents []*node
+		fanout := degree + 1
+		for start := 0; start < len(level); start += fanout {
+			end := start + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			// A parent needs at least two children; steal from the
+			// previous parent if the tail is a singleton.
+			if end-start == 1 && len(parents) > 0 {
+				prev := parents[len(parents)-1]
+				// Move the last child of prev into this group.
+				stolen := prev.children[len(prev.children)-1]
+				prev.children = prev.children[:len(prev.children)-1]
+				prev.keys = prev.keys[:len(prev.keys)-1]
+				p := &node{
+					keys:     [][]byte{firstKey(level[start])},
+					children: []*node{stolen, level[start]},
+				}
+				parents = append(parents, p)
+				continue
+			}
+			p := &node{children: append([]*node(nil), level[start:end]...)}
+			for i := start + 1; i < end; i++ {
+				p.keys = append(p.keys, firstKey(level[i]))
+			}
+			parents = append(parents, p)
+		}
+		level = parents
+	}
+	t.root = level[0]
+	t.size = len(entries)
+	return t
+}
+
+// firstKey returns the smallest key under n.
+func firstKey(n *node) []byte {
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		panic(fmt.Sprintf("btree: empty node in bulk load: %+v", n))
+	}
+	return n.keys[0]
+}

@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"testing"
+
+	"spatialtf/internal/geom"
+)
+
+func TestCountiesBasicProperties(t *testing.T) {
+	ds := Counties(100, 1)
+	if len(ds.Geoms) != 100 {
+		t.Fatalf("generated %d counties", len(ds.Geoms))
+	}
+	for i, g := range ds.Geoms {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("county %d invalid: %v", i, err)
+		}
+		if g.Kind != geom.KindPolygon {
+			t.Fatalf("county %d kind %v", i, g.Kind)
+		}
+		if !ds.Bounds.Contains(geom.MBROf(g)) {
+			t.Errorf("county %d escapes bounds: %v", i, geom.MBROf(g))
+		}
+		if g.NumVertices() < 20 {
+			t.Errorf("county %d too simple: %d vertices", i, g.NumVertices())
+		}
+	}
+}
+
+func TestCountiesNeighboursTouch(t *testing.T) {
+	ds := Counties(25, 2) // 5x5 grid
+	// Horizontally adjacent cells share an edge and must interact but
+	// not overlap interiors.
+	a, b := ds.Geoms[0], ds.Geoms[1]
+	if !geom.Intersects(a, b) {
+		t.Fatalf("adjacent counties do not touch")
+	}
+	if geom.Relate(a, b, geom.MaskOverlap) {
+		t.Errorf("adjacent counties overlap interiors")
+	}
+	// Distant cells are disjoint.
+	far := ds.Geoms[24]
+	if geom.Intersects(a, far) {
+		t.Errorf("opposite-corner counties intersect")
+	}
+}
+
+func TestCountiesSelfJoinSelectivity(t *testing.T) {
+	// Each interior county touches 8 neighbours plus itself, so the
+	// self-join cardinality is ≈9n — the property Table 1 relies on.
+	ds := Counties(49, 3)
+	count := 0
+	for _, a := range ds.Geoms {
+		for _, b := range ds.Geoms {
+			if geom.MBROf(a).Intersects(geom.MBROf(b)) && geom.Intersects(a, b) {
+				count++
+			}
+		}
+	}
+	n := len(ds.Geoms)
+	if count < 5*n || count > 12*n {
+		t.Errorf("self-join count %d outside the ~9n band for n=%d", count, n)
+	}
+}
+
+func TestCountiesDeterministic(t *testing.T) {
+	a := Counties(36, 7)
+	b := Counties(36, 7)
+	for i := range a.Geoms {
+		if !a.Geoms[i].Equal(b.Geoms[i]) {
+			t.Fatalf("county %d differs across identical seeds", i)
+		}
+	}
+	c := Counties(36, 8)
+	same := true
+	for i := range a.Geoms {
+		if !a.Geoms[i].Equal(c.Geoms[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical data")
+	}
+}
+
+func TestStarsBasicProperties(t *testing.T) {
+	ds := Stars(2000, 11)
+	if len(ds.Geoms) != 2000 {
+		t.Fatalf("generated %d stars", len(ds.Geoms))
+	}
+	for i, g := range ds.Geoms {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("star %d invalid: %v", i, err)
+		}
+		if !ds.Bounds.Contains(geom.MBROf(g)) {
+			t.Errorf("star %d escapes bounds", i)
+		}
+		m := geom.MBROf(g)
+		if m.Width() > 5 || m.Height() > 5 {
+			t.Errorf("star %d too large: %v", i, m)
+		}
+	}
+}
+
+func TestStarsAreClustered(t *testing.T) {
+	ds := Stars(2000, 13)
+	// Clustering: the average nearest-centroid distance must be far
+	// below the uniform expectation. Cheap proxy: count stars per coarse
+	// cell and check the max cell holds far more than uniform share.
+	const cells = 20
+	hist := map[[2]int]int{}
+	for _, g := range ds.Geoms {
+		c := g.Centroid()
+		hist[[2]int{int(c.X / (1000.0 / cells)), int(c.Y / (1000.0 / cells))}]++
+	}
+	max := 0
+	for _, v := range hist {
+		if v > max {
+			max = v
+		}
+	}
+	uniform := len(ds.Geoms) / (cells * cells)
+	if max < uniform*4 {
+		t.Errorf("max cell %d vs uniform %d: data not clustered", max, uniform)
+	}
+}
+
+func TestStarsSelfJoinGrowsSuperlinearly(t *testing.T) {
+	// Density rises with n, so pairs/n must increase — Table 2's scaling.
+	ratio := func(n int) float64 {
+		ds := Stars(n, 17)
+		pairs := 0
+		for i, a := range ds.Geoms {
+			ma := geom.MBROf(a)
+			for j, b := range ds.Geoms {
+				if i == j {
+					pairs++
+					continue
+				}
+				if ma.Intersects(geom.MBROf(b)) && geom.Intersects(a, b) {
+					pairs++
+				}
+			}
+		}
+		return float64(pairs) / float64(n)
+	}
+	r1 := ratio(250)
+	r2 := ratio(1500)
+	if r2 <= r1 {
+		t.Errorf("selectivity did not grow: %g at 250, %g at 1500", r1, r2)
+	}
+}
+
+func TestBlockGroupsBasicProperties(t *testing.T) {
+	ds := BlockGroups(300, 19)
+	if len(ds.Geoms) != 300 {
+		t.Fatalf("generated %d block groups", len(ds.Geoms))
+	}
+	totalV := 0
+	for i, g := range ds.Geoms {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("block group %d invalid: %v", i, err)
+		}
+		if !ds.Bounds.Contains(geom.MBROf(g)) {
+			t.Errorf("block group %d escapes bounds", i)
+		}
+		totalV += g.NumVertices()
+	}
+	if avg := totalV / len(ds.Geoms); avg < 40 {
+		t.Errorf("average vertex count %d; want complex polygons", avg)
+	}
+	if ds.TotalVertices() != totalV {
+		t.Errorf("TotalVertices = %d, want %d", ds.TotalVertices(), totalV)
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	ds := Counties(50, 23)
+	tab, ids, err := LoadTable("counties", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 50 || len(ids) != 50 {
+		t.Fatalf("loaded %d rows, %d ids", tab.Len(), len(ids))
+	}
+	// Round-trip a row.
+	row, err := tab.Fetch(ids[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 7 {
+		t.Errorf("id column = %d", row[0].I)
+	}
+	if !row[2].G.Equal(ds.Geoms[7]) {
+		t.Errorf("geometry column mismatch at row 7")
+	}
+}
+
+func TestGeneratorsHandleTinySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		for name, gen := range map[string]func(int, int64) Dataset{
+			"counties": Counties, "stars": Stars, "blockgroups": BlockGroups,
+		} {
+			ds := gen(n, 29)
+			want := n
+			if want < 1 {
+				want = 1
+			}
+			if len(ds.Geoms) != want {
+				t.Errorf("%s(%d) = %d geoms", name, n, len(ds.Geoms))
+			}
+			for i, g := range ds.Geoms {
+				if err := g.Validate(); err != nil {
+					t.Errorf("%s(%d) geom %d invalid: %v", name, n, i, err)
+				}
+			}
+		}
+	}
+}

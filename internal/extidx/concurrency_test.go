@@ -1,0 +1,111 @@
+package extidx
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+// TestConcurrentQueriesAndDML exercises the framework's concurrency
+// promise ("extensible indexing also ensures statement or session-level
+// concurrency"): readers run window and distance queries while writers
+// insert and delete rows with automatic index maintenance. Run with
+// -race; the assertions only check internal consistency, since results
+// legitimately vary while writers are active.
+func TestConcurrentQueriesAndDML(t *testing.T) {
+	r := newRegistry()
+	tab, _ := loadCounties(t, 64)
+	rt, err := r.CreateIndex("rt", KindRTree, tab, "geom", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	stop := make(chan struct{})
+
+	// Writers: insert small rects, then delete them.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				x := rng.Float64() * 900
+				y := rng.Float64() * 900
+				g, err := geom.NewRect(x, y, x+5, y+5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				id, err := tab.Insert(storage.Row{
+					storage.Int(int64(1000 + i)),
+					storage.Str(fmt.Sprintf("w%d-%d", seed, i)),
+					storage.Geom(g),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%2 == 0 {
+					if err := tab.Delete(id); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Readers: window queries whose results must be self-consistent
+	// (every returned row fetchable and actually intersecting).
+	for rdr := 0; rdr < 4; rdr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			col, _ := tab.ColumnIndex("geom")
+			for i := 0; i < 300; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x := rng.Float64() * 800
+				y := rng.Float64() * 800
+				q, err := geom.NewRect(x, y, x+100, y+100)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ids, err := Relate(rt, tab, "geom", q, geom.MaskAnyInteract)
+				if err != nil {
+					// Rows may vanish between the index probe and the
+					// fetch while writers run; deleted-row errors are
+					// the one acceptable race at this isolation level.
+					continue
+				}
+				for _, id := range ids {
+					v, err := tab.FetchColumn(id, col)
+					if err != nil {
+						continue // deleted in between
+					}
+					if !geom.Intersects(v.G, q) {
+						errs <- fmt.Errorf("reader got non-intersecting row %v", id)
+						return
+					}
+				}
+			}
+		}(int64(100 + rdr))
+	}
+
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary geometry codec. Geometry columns are stored in heap-table rows
+// in this format (the analogue of sdo_geometry's on-disk object image).
+//
+// Layout (little endian):
+//
+//	byte    kind
+//	uvarint part count   (1 for point/line, #rings for polygon, #elems for multi)
+//	parts...
+//
+// For point/linestring the single part is a coordinate list:
+//
+//	uvarint n, then n × (float64 x, float64 y)
+//
+// For polygons each part is a ring coordinate list. For multi kinds each
+// part is a recursively encoded primitive.
+
+// AppendBinary appends the binary image of g to dst and returns it.
+func AppendBinary(dst []byte, g Geometry) []byte {
+	dst = append(dst, byte(g.Kind))
+	switch g.Kind {
+	case KindPoint, KindLineString:
+		dst = binary.AppendUvarint(dst, 1)
+		dst = appendCoords(dst, g.Pts)
+	case KindPolygon:
+		dst = binary.AppendUvarint(dst, uint64(len(g.Rings)))
+		for _, r := range g.Rings {
+			dst = appendCoords(dst, r)
+		}
+	default:
+		dst = binary.AppendUvarint(dst, uint64(len(g.Elems)))
+		for _, e := range g.Elems {
+			dst = AppendBinary(dst, e)
+		}
+	}
+	return dst
+}
+
+// MarshalBinary returns the binary image of g.
+func MarshalBinary(g Geometry) []byte {
+	// Pre-size: 1 byte kind + 16 bytes per vertex + slack.
+	return AppendBinary(make([]byte, 0, 16+16*g.NumVertices()), g)
+}
+
+func appendCoords(dst []byte, pts []Point) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pts)))
+	var buf [16]byte
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Y))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// UnmarshalBinary decodes a geometry previously produced by
+// MarshalBinary/AppendBinary.
+func UnmarshalBinary(b []byte) (Geometry, error) {
+	g, rest, err := decodeBinary(b)
+	if err != nil {
+		return Geometry{}, err
+	}
+	if len(rest) != 0 {
+		return Geometry{}, fmt.Errorf("geom: %d trailing bytes after geometry", len(rest))
+	}
+	return g, nil
+}
+
+func decodeBinary(b []byte) (Geometry, []byte, error) {
+	if len(b) < 1 {
+		return Geometry{}, nil, fmt.Errorf("geom: truncated geometry header")
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	nParts, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Geometry{}, nil, fmt.Errorf("geom: truncated part count")
+	}
+	b = b[n:]
+	switch kind {
+	case KindPoint, KindLineString:
+		if nParts != 1 {
+			return Geometry{}, nil, fmt.Errorf("geom: %v with %d parts", kind, nParts)
+		}
+		pts, rest, err := decodeCoords(b)
+		if err != nil {
+			return Geometry{}, nil, err
+		}
+		return Geometry{Kind: kind, Pts: pts}, rest, nil
+	case KindPolygon:
+		rings := make([][]Point, 0, nParts)
+		for i := uint64(0); i < nParts; i++ {
+			pts, rest, err := decodeCoords(b)
+			if err != nil {
+				return Geometry{}, nil, err
+			}
+			rings = append(rings, pts)
+			b = rest
+		}
+		return Geometry{Kind: kind, Rings: rings}, b, nil
+	case KindMultiPoint, KindMultiLineString, KindMultiPolygon:
+		elems := make([]Geometry, 0, nParts)
+		for i := uint64(0); i < nParts; i++ {
+			e, rest, err := decodeBinary(b)
+			if err != nil {
+				return Geometry{}, nil, err
+			}
+			elems = append(elems, e)
+			b = rest
+		}
+		return Geometry{Kind: kind, Elems: elems}, b, nil
+	default:
+		return Geometry{}, nil, fmt.Errorf("geom: bad kind byte %d", kind)
+	}
+}
+
+func decodeCoords(b []byte) ([]Point, []byte, error) {
+	nPts, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("geom: truncated coordinate count")
+	}
+	b = b[n:]
+	need := int(nPts) * 16
+	if len(b) < need {
+		return nil, nil, fmt.Errorf("geom: truncated coordinates: need %d bytes, have %d", need, len(b))
+	}
+	pts := make([]Point, nPts)
+	for i := range pts {
+		pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:]))
+		pts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8:]))
+	}
+	return pts, b[need:], nil
+}

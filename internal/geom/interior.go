@@ -1,0 +1,101 @@
+package geom
+
+// Interior approximations — the optimization of Kothuri & Ravada's
+// companion paper ("Efficient Processing of Large Spatial Queries Using
+// Interior Approximations", SSTD 2001, cited as [21]): alongside the
+// exterior MBR approximation, store a rectangle guaranteed to lie
+// inside the geometry. A query or join candidate whose window lies
+// within the interior rectangle (or whose interior rectangles overlap)
+// can be accepted without fetching and testing the exact geometry,
+// removing secondary-filter work for large result sets.
+
+// InteriorRect returns an axis-aligned rectangle contained in the
+// closed region of g, or the empty MBR when no useful rectangle is
+// found (points, lines, degenerate or very thin polygons). effort
+// controls the search granularity; 0 selects a default. The result is
+// conservative: every point of the returned rectangle lies in g.
+func InteriorRect(g Geometry, effort int) MBR {
+	if effort <= 0 {
+		effort = 4
+	}
+	switch g.Kind {
+	case KindPolygon:
+		return polygonInteriorRect(g, effort)
+	case KindMultiPolygon:
+		// The largest member interior serves the whole collection.
+		best := EmptyMBR()
+		for _, e := range g.Elems {
+			r := polygonInteriorRect(e, effort)
+			if r.Area() > best.Area() {
+				best = r
+			}
+		}
+		return best
+	default:
+		return EmptyMBR()
+	}
+}
+
+// polygonInteriorRect searches for a large rectangle inside the
+// polygon: candidate centre points on an effort × effort grid (plus the
+// vertex centroid), and for each interior centre a binary search on the
+// scale of an MBR-proportioned rectangle, verified by exact coverage.
+func polygonInteriorRect(g Geometry, effort int) MBR {
+	m := MBROf(g)
+	if !m.Valid() || m.Width() == 0 || m.Height() == 0 {
+		return EmptyMBR()
+	}
+	halfW := m.Width() / 2
+	halfH := m.Height() / 2
+
+	best := EmptyMBR()
+	tryCenter := func(c Point) {
+		if pointInPolygon(c, g) <= 0 {
+			return
+		}
+		// Binary search the largest s in (0, 1] such that the rectangle
+		// c ± s*(halfW, halfH) is covered by the polygon.
+		lo, hi := 0.0, 1.0
+		const iters = 12
+		for i := 0; i < iters; i++ {
+			s := (lo + hi) / 2
+			r := MBR{c.X - s*halfW, c.Y - s*halfH, c.X + s*halfW, c.Y + s*halfH}
+			if rectCoveredByPolygon(r, g) {
+				lo = s
+			} else {
+				hi = s
+			}
+		}
+		if lo == 0 {
+			return
+		}
+		r := MBR{c.X - lo*halfW, c.Y - lo*halfH, c.X + lo*halfW, c.Y + lo*halfH}
+		if r.Area() > best.Area() {
+			best = r
+		}
+	}
+
+	tryCenter(g.Centroid())
+	for i := 1; i <= effort; i++ {
+		for j := 1; j <= effort; j++ {
+			tryCenter(Point{
+				X: m.MinX + m.Width()*float64(i)/float64(effort+1),
+				Y: m.MinY + m.Height()*float64(j)/float64(effort+1),
+			})
+		}
+	}
+	return best
+}
+
+// rectCoveredByPolygon reports whether the rectangle r lies entirely in
+// the closed region of polygon g.
+func rectCoveredByPolygon(r MBR, g Geometry) bool {
+	if r.IsEmpty() || r.Width() <= 0 || r.Height() <= 0 {
+		return false
+	}
+	rect, err := NewRect(r.MinX, r.MinY, r.MaxX, r.MaxY)
+	if err != nil {
+		return false
+	}
+	return polyCoveredByPoly(rect, g)
+}

@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInteriorRectRectangle(t *testing.T) {
+	g := mustRect(t, 10, 10, 30, 20)
+	r := InteriorRect(g, 0)
+	if r.IsEmpty() {
+		t.Fatalf("no interior rect for a rectangle")
+	}
+	// Must be inside and should recover most of the area.
+	if !rectCoveredByPolygon(r, g) {
+		t.Fatalf("interior rect %v escapes the polygon", r)
+	}
+	if r.Area() < 0.5*g.Area() {
+		t.Errorf("interior rect area %g too small for a rectangle of area %g", r.Area(), g.Area())
+	}
+}
+
+func TestInteriorRectConvex(t *testing.T) {
+	// A fat hexagon.
+	g, err := NewPolygon([]Point{{10, 0}, {20, 5}, {20, 15}, {10, 20}, {0, 15}, {0, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := InteriorRect(g, 4)
+	if r.IsEmpty() {
+		t.Fatalf("no interior rect for a fat hexagon")
+	}
+	if !rectCoveredByPolygon(r, g) {
+		t.Fatalf("interior rect escapes")
+	}
+	if r.Area() < 0.2*g.Area() {
+		t.Errorf("interior area %g very small vs polygon %g", r.Area(), g.Area())
+	}
+}
+
+func TestInteriorRectWithHole(t *testing.T) {
+	outer := []Point{{0, 0}, {20, 0}, {20, 20}, {0, 20}}
+	hole := []Point{{8, 8}, {12, 8}, {12, 12}, {8, 12}}
+	g := mustPolygon(t, outer, hole)
+	r := InteriorRect(g, 6)
+	if r.IsEmpty() {
+		t.Fatalf("no interior rect for a donut")
+	}
+	if !rectCoveredByPolygon(r, g) {
+		t.Fatalf("interior rect %v overlaps the hole or escapes", r)
+	}
+	// It must not intersect the hole's open interior.
+	holeRect := MBR{8, 8, 12, 12}
+	inter := r.Intersect(holeRect)
+	if !inter.IsEmpty() && inter.Width() > eps && inter.Height() > eps {
+		t.Errorf("interior rect %v pokes into the hole", r)
+	}
+}
+
+func TestInteriorRectNonAreal(t *testing.T) {
+	if r := InteriorRect(NewPoint(1, 2), 0); !r.IsEmpty() {
+		t.Errorf("point interior = %v", r)
+	}
+	l := mustLine(t, Point{0, 0}, Point{5, 5})
+	if r := InteriorRect(l, 0); !r.IsEmpty() {
+		t.Errorf("line interior = %v", r)
+	}
+}
+
+func TestInteriorRectMultiPolygon(t *testing.T) {
+	small := mustRect(t, 0, 0, 2, 2)
+	big := mustRect(t, 10, 10, 30, 30)
+	mp, err := NewMulti(KindMultiPolygon, []Geometry{small, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := InteriorRect(mp, 3)
+	if r.IsEmpty() {
+		t.Fatalf("no interior rect for multipolygon")
+	}
+	// The winner must be inside the big member.
+	if !(MBR{10, 10, 30, 30}).Contains(r) {
+		t.Errorf("interior rect %v not in the larger member", r)
+	}
+}
+
+// Property: the interior rectangle is always covered by the polygon and
+// contained in its MBR; any point in it is non-exterior.
+func TestInteriorRectSoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 40; trial++ {
+		// Random convex-ish blob: radial polygon.
+		cx := rng.Float64()*800 + 100
+		cy := rng.Float64()*800 + 100
+		n := 8 + rng.Intn(20)
+		pts := make([]Point, n)
+		base := 20 + rng.Float64()*40
+		for i := range pts {
+			th := 2 * math.Pi * float64(i) / float64(n)
+			rad := base * (0.7 + 0.3*rng.Float64())
+			pts[i] = Point{cx + rad*math.Cos(th), cy + rad*math.Sin(th)}
+		}
+		g, err := NewPolygon(pts)
+		if err != nil {
+			continue
+		}
+		r := InteriorRect(g, 3)
+		if r.IsEmpty() {
+			continue // thin shapes may legitimately yield nothing
+		}
+		if !MBROf(g).Contains(r) {
+			t.Fatalf("trial %d: interior %v outside MBR %v", trial, r, MBROf(g))
+		}
+		if !rectCoveredByPolygon(r, g) {
+			t.Fatalf("trial %d: interior rect not covered", trial)
+		}
+		// Sample points.
+		for k := 0; k < 10; k++ {
+			p := Point{
+				X: r.MinX + rng.Float64()*r.Width(),
+				Y: r.MinY + rng.Float64()*r.Height(),
+			}
+			if pointInPolygon(p, g) < 0 {
+				t.Fatalf("trial %d: interior point %v outside polygon", trial, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseMask(t *testing.T) {
+	cases := map[string]Mask{
+		"intersect":   MaskAnyInteract,
+		"ANYINTERACT": MaskAnyInteract,
+		" touch ":     MaskTouch,
+		"equal":       MaskEqual,
+		"inside":      MaskInside,
+		"within":      MaskInside,
+		"contains":    MaskContains,
+		"coveredby":   MaskCoveredBy,
+		"covers":      MaskCovers,
+		"overlap":     MaskOverlap,
+	}
+	for s, want := range cases {
+		got, err := ParseMask(s)
+		if err != nil {
+			t.Errorf("ParseMask(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseMask(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, err := ParseMask("bogus"); err == nil {
+		t.Errorf("ParseMask(bogus): want error")
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	for _, m := range []Mask{MaskAnyInteract, MaskEqual, MaskInside, MaskContains, MaskCoveredBy, MaskCovers, MaskTouch, MaskOverlap} {
+		s := m.String()
+		back, err := ParseMask(s)
+		if err != nil || back != m {
+			t.Errorf("round-trip %v -> %q -> %v (%v)", m, s, back, err)
+		}
+	}
+}
+
+// relateMatrix runs Relate for all masks between a and b and compares
+// against the expected set.
+func relateMatrix(t *testing.T, name string, a, b Geometry, want map[Mask]bool) {
+	t.Helper()
+	all := []Mask{MaskAnyInteract, MaskEqual, MaskInside, MaskContains, MaskCoveredBy, MaskCovers, MaskTouch, MaskOverlap}
+	for _, m := range all {
+		if got := Relate(a, b, m); got != want[m] {
+			t.Errorf("%s: Relate(a, b, %v) = %v, want %v", name, m, got, want[m])
+		}
+	}
+}
+
+func TestRelateDisjoint(t *testing.T) {
+	a := mustRect(t, 0, 0, 1, 1)
+	b := mustRect(t, 5, 5, 6, 6)
+	relateMatrix(t, "disjoint", a, b, map[Mask]bool{})
+}
+
+func TestRelateEqual(t *testing.T) {
+	a := mustRect(t, 0, 0, 2, 2)
+	b := mustPolygon(t, []Point{{2, 2}, {0, 2}, {0, 0}, {2, 0}})
+	relateMatrix(t, "equal", a, b, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskEqual:       true,
+	})
+}
+
+func TestRelateInsideContains(t *testing.T) {
+	small := mustRect(t, 2, 2, 3, 3)
+	big := mustRect(t, 0, 0, 10, 10)
+	relateMatrix(t, "small-in-big", small, big, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskInside:      true,
+	})
+	relateMatrix(t, "big-around-small", big, small, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskContains:    true,
+	})
+}
+
+func TestRelateCoveredByCovers(t *testing.T) {
+	// Inner shares the left edge with outer: boundary contact, so
+	// COVEREDBY rather than INSIDE.
+	inner := mustRect(t, 0, 2, 3, 4)
+	outer := mustRect(t, 0, 0, 10, 10)
+	relateMatrix(t, "coveredby", inner, outer, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskCoveredBy:   true,
+	})
+	relateMatrix(t, "covers", outer, inner, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskCovers:      true,
+	})
+}
+
+func TestRelateTouch(t *testing.T) {
+	a := mustRect(t, 0, 0, 2, 2)
+	edge := mustRect(t, 2, 0, 4, 2)
+	relateMatrix(t, "edge-touch", a, edge, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskTouch:       true,
+	})
+	corner := mustRect(t, 2, 2, 4, 4)
+	relateMatrix(t, "corner-touch", a, corner, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskTouch:       true,
+	})
+	// Line touching polygon boundary from outside.
+	l := mustLine(t, Point{2, 1}, Point{4, 1})
+	if !Relate(a, l, MaskTouch) {
+		t.Errorf("line touching boundary should TOUCH")
+	}
+}
+
+func TestRelateOverlap(t *testing.T) {
+	a := mustRect(t, 0, 0, 4, 4)
+	b := mustRect(t, 2, 2, 6, 6)
+	relateMatrix(t, "overlap", a, b, map[Mask]bool{
+		MaskAnyInteract: true,
+		MaskOverlap:     true,
+	})
+}
+
+func TestRelatePointPolygon(t *testing.T) {
+	poly := mustRect(t, 0, 0, 4, 4)
+	in := NewPoint(2, 2)
+	if !Relate(in, poly, MaskInside) {
+		t.Errorf("interior point should be INSIDE")
+	}
+	if !Relate(poly, in, MaskContains) {
+		t.Errorf("polygon should CONTAIN interior point")
+	}
+	on := NewPoint(0, 2)
+	if !Relate(on, poly, MaskCoveredBy) {
+		t.Errorf("boundary point should be COVEREDBY")
+	}
+	if !Relate(on, poly, MaskTouch) {
+		t.Errorf("boundary point should TOUCH (interiors disjoint)")
+	}
+	out := NewPoint(9, 9)
+	if Relate(out, poly, MaskAnyInteract) {
+		t.Errorf("exterior point should not interact")
+	}
+}
+
+// randomRect returns a random axis-aligned rectangle in [0,100)^2.
+func randomRect(t testing.TB, rng *rand.Rand) Geometry {
+	x := rng.Float64() * 90
+	y := rng.Float64() * 90
+	w := rng.Float64()*9 + 0.5
+	h := rng.Float64()*9 + 0.5
+	return mustRect(t, x, y, x+w, y+h)
+}
+
+// TestRelatePartition checks the exclusivity/partition structure of the
+// masks on random rectangle pairs: when two geometries interact, exactly
+// one of EQUAL / INSIDE / CONTAINS / COVEREDBY / COVERS / TOUCH / OVERLAP
+// holds for rectangle pairs.
+func TestRelatePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exclusive := []Mask{MaskEqual, MaskInside, MaskContains, MaskCoveredBy, MaskCovers, MaskTouch, MaskOverlap}
+	for i := 0; i < 300; i++ {
+		a := randomRect(t, rng)
+		b := randomRect(t, rng)
+		if !Relate(a, b, MaskAnyInteract) {
+			for _, m := range exclusive {
+				if Relate(a, b, m) {
+					t.Fatalf("disjoint pair satisfies %v: %v vs %v", m, a, b)
+				}
+			}
+			continue
+		}
+		n := 0
+		var held []Mask
+		for _, m := range exclusive {
+			if Relate(a, b, m) {
+				n++
+				held = append(held, m)
+			}
+		}
+		if n != 1 {
+			t.Fatalf("interacting pair satisfies %d masks %v: %v vs %v", n, held, a, b)
+		}
+	}
+}
+
+// TestRelateSymmetry checks the symmetric masks on random pairs and the
+// duality of the asymmetric ones.
+func TestRelateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a := randomRect(t, rng)
+		b := randomRect(t, rng)
+		for _, m := range []Mask{MaskAnyInteract, MaskEqual, MaskTouch, MaskOverlap} {
+			if !m.Symmetric() {
+				t.Fatalf("%v should report Symmetric", m)
+			}
+			if Relate(a, b, m) != Relate(b, a, m) {
+				t.Fatalf("%v asymmetric on %v vs %v", m, a, b)
+			}
+		}
+		if Relate(a, b, MaskInside) != Relate(b, a, MaskContains) {
+			t.Fatalf("INSIDE/CONTAINS duality broken on %v vs %v", a, b)
+		}
+		if Relate(a, b, MaskCoveredBy) != Relate(b, a, MaskCovers) {
+			t.Fatalf("COVEREDBY/COVERS duality broken on %v vs %v", a, b)
+		}
+	}
+}

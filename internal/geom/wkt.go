@@ -1,0 +1,322 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalWKT renders g in Well-Known Text, the interchange format used
+// by the dataset tools and example programs.
+func MarshalWKT(g Geometry) string {
+	var b strings.Builder
+	writeWKT(&b, g)
+	return b.String()
+}
+
+func writeWKT(b *strings.Builder, g Geometry) {
+	switch g.Kind {
+	case KindPoint:
+		fmt.Fprintf(b, "POINT (%s %s)", f(g.Pts[0].X), f(g.Pts[0].Y))
+	case KindLineString:
+		b.WriteString("LINESTRING ")
+		writeCoords(b, g.Pts, false)
+	case KindPolygon:
+		b.WriteString("POLYGON ")
+		writeRings(b, g.Rings)
+	case KindMultiPoint:
+		b.WriteString("MULTIPOINT (")
+		for i, e := range g.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeCoords(b, e.Pts, false)
+		}
+		b.WriteString(")")
+	case KindMultiLineString:
+		b.WriteString("MULTILINESTRING (")
+		for i, e := range g.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeCoords(b, e.Pts, false)
+		}
+		b.WriteString(")")
+	case KindMultiPolygon:
+		b.WriteString("MULTIPOLYGON (")
+		for i, e := range g.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeRings(b, e.Rings)
+		}
+		b.WriteString(")")
+	default:
+		b.WriteString("GEOMETRY EMPTY")
+	}
+}
+
+func writeRings(b *strings.Builder, rings [][]Point) {
+	b.WriteString("(")
+	for i, r := range rings {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeCoords(b, r, true)
+	}
+	b.WriteString(")")
+}
+
+func writeCoords(b *strings.Builder, pts []Point, closeRing bool) {
+	b.WriteString("(")
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f(p.X))
+		b.WriteString(" ")
+		b.WriteString(f(p.Y))
+	}
+	if closeRing && len(pts) > 0 {
+		fmt.Fprintf(b, ", %s %s", f(pts[0].X), f(pts[0].Y))
+	}
+	b.WriteString(")")
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseWKT parses a Well-Known Text geometry. It accepts the subset
+// emitted by MarshalWKT: POINT, LINESTRING, POLYGON and their MULTI
+// forms, with optional whitespace.
+func ParseWKT(s string) (Geometry, error) {
+	p := &wktParser{in: s}
+	g, err := p.geometry()
+	if err != nil {
+		return Geometry{}, fmt.Errorf("geom: parse WKT at offset %d: %w", p.pos, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return Geometry{}, fmt.Errorf("geom: parse WKT: trailing input at offset %d", p.pos)
+	}
+	return g, nil
+}
+
+type wktParser struct {
+	in  string
+	pos int
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *wktParser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.in[start:p.pos])
+}
+
+func (p *wktParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *wktParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected number")
+	}
+	return strconv.ParseFloat(p.in[start:p.pos], 64)
+}
+
+func (p *wktParser) coord() (Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{x, y}, nil
+}
+
+// coordList parses "(x y, x y, ...)".
+func (p *wktParser) coordList() ([]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for {
+		pt, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// ringList parses "((..), (..), ...)".
+func (p *wktParser) ringList() ([][]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var rings [][]Point
+	for {
+		r, err := p.coordList()
+		if err != nil {
+			return nil, err
+		}
+		rings = append(rings, r)
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return rings, nil
+}
+
+func (p *wktParser) geometry() (Geometry, error) {
+	switch kw := p.word(); kw {
+	case "POINT":
+		pts, err := p.coordList()
+		if err != nil {
+			return Geometry{}, err
+		}
+		if len(pts) != 1 {
+			return Geometry{}, fmt.Errorf("POINT with %d coordinates", len(pts))
+		}
+		return NewPoint(pts[0].X, pts[0].Y), nil
+	case "LINESTRING":
+		pts, err := p.coordList()
+		if err != nil {
+			return Geometry{}, err
+		}
+		return NewLineString(pts)
+	case "POLYGON":
+		rings, err := p.ringList()
+		if err != nil {
+			return Geometry{}, err
+		}
+		return NewPolygon(rings...)
+	case "MULTIPOINT":
+		if err := p.expect('('); err != nil {
+			return Geometry{}, err
+		}
+		var elems []Geometry
+		for {
+			pts, err := p.coordList()
+			if err != nil {
+				return Geometry{}, err
+			}
+			for _, pt := range pts {
+				elems = append(elems, NewPoint(pt.X, pt.Y))
+			}
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return Geometry{}, err
+		}
+		return NewMulti(KindMultiPoint, elems)
+	case "MULTILINESTRING":
+		if err := p.expect('('); err != nil {
+			return Geometry{}, err
+		}
+		var elems []Geometry
+		for {
+			pts, err := p.coordList()
+			if err != nil {
+				return Geometry{}, err
+			}
+			ls, err := NewLineString(pts)
+			if err != nil {
+				return Geometry{}, err
+			}
+			elems = append(elems, ls)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return Geometry{}, err
+		}
+		return NewMulti(KindMultiLineString, elems)
+	case "MULTIPOLYGON":
+		if err := p.expect('('); err != nil {
+			return Geometry{}, err
+		}
+		var elems []Geometry
+		for {
+			rings, err := p.ringList()
+			if err != nil {
+				return Geometry{}, err
+			}
+			pg, err := NewPolygon(rings...)
+			if err != nil {
+				return Geometry{}, err
+			}
+			elems = append(elems, pg)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return Geometry{}, err
+		}
+		return NewMulti(KindMultiPolygon, elems)
+	default:
+		return Geometry{}, fmt.Errorf("unknown geometry type %q", kw)
+	}
+}

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWKTRoundTripFixed(t *testing.T) {
+	cases := []string{
+		"POINT (1 2)",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+		"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 6, 6 6, 6 4, 4 4, 4 6))",
+		"MULTIPOINT ((0 0), (1 1))",
+		"MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 2))",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+	}
+	for _, s := range cases {
+		g, err := ParseWKT(s)
+		if err != nil {
+			t.Errorf("ParseWKT(%q): %v", s, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("parsed %q invalid: %v", s, err)
+		}
+		out := MarshalWKT(g)
+		g2, err := ParseWKT(out)
+		if err != nil {
+			t.Errorf("re-parse %q: %v", out, err)
+			continue
+		}
+		if !g.Equal(g2) {
+			t.Errorf("round trip changed geometry: %q -> %q", s, out)
+		}
+	}
+}
+
+func TestParseWKTWhitespaceAndCase(t *testing.T) {
+	g, err := ParseWKT("  point(3   4)  ")
+	if err != nil {
+		t.Fatalf("ParseWKT: %v", err)
+	}
+	if g.Kind != KindPoint || g.Pts[0] != (Point{3, 4}) {
+		t.Errorf("parsed %+v", g)
+	}
+}
+
+func TestParseWKTScientificNotation(t *testing.T) {
+	g, err := ParseWKT("POINT (1e3 -2.5E-2)")
+	if err != nil {
+		t.Fatalf("ParseWKT: %v", err)
+	}
+	if g.Pts[0] != (Point{1000, -0.025}) {
+		t.Errorf("parsed %+v", g.Pts[0])
+	}
+}
+
+func TestParseWKTErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CIRCLE (0 0, 5)",
+		"POINT (1)",
+		"POINT (1 2",
+		"POINT (1 2) extra",
+		"POLYGON ((0 0, 1 1))",           // too few distinct points
+		"POLYGON ((0 0, 1 1, 2 2, 0 0))", // degenerate
+		"LINESTRING (0 0)",
+		"POINT (a b)",
+	}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("ParseWKT(%q): want error", s)
+		}
+	}
+}
+
+func TestParseWKTMultipointCompactForm(t *testing.T) {
+	// Some emitters use MULTIPOINT (0 0, 1 1) without inner parens; our
+	// parser accepts the parenthesised coordinate list per member, and a
+	// single list yields multiple points.
+	g, err := ParseWKT("MULTIPOINT ((0 0, 1 1))")
+	if err != nil {
+		t.Fatalf("ParseWKT: %v", err)
+	}
+	if g.Kind != KindMultiPoint || len(g.Elems) != 2 {
+		t.Errorf("parsed %+v", g)
+	}
+}
+
+func TestWKTPolygonClosesRings(t *testing.T) {
+	g := mustRect(t, 0, 0, 1, 1)
+	s := MarshalWKT(g)
+	// The emitted ring must be explicitly closed for interoperability.
+	if !strings.HasPrefix(s, "POLYGON ((") {
+		t.Fatalf("unexpected prefix: %q", s)
+	}
+	open := strings.TrimSuffix(strings.TrimPrefix(s, "POLYGON (("), "))")
+	coords := strings.Split(open, ", ")
+	if coords[0] != coords[len(coords)-1] {
+		t.Errorf("ring not closed in %q", s)
+	}
+}
+
+func TestWKTRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		g := randomRect(t, rng)
+		g2, err := ParseWKT(MarshalWKT(g))
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if !g.Equal(g2) {
+			t.Fatalf("round trip changed %v", g)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	outer := []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	hole := []Point{{2, 2}, {4, 2}, {4, 4}, {2, 4}}
+	geoms := []Geometry{
+		NewPoint(1.5, -2.25),
+		mustLine(t, Point{0, 0}, Point{1, 1}, Point{2, 0}),
+		mustPolygon(t, outer, hole),
+	}
+	mp, err := NewMulti(KindMultiPolygon, []Geometry{mustRect(t, 0, 0, 1, 1), mustRect(t, 5, 5, 6, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoms = append(geoms, mp)
+	for _, g := range geoms {
+		b := MarshalBinary(g)
+		g2, err := UnmarshalBinary(b)
+		if err != nil {
+			t.Errorf("UnmarshalBinary(%v): %v", g.Kind, err)
+			continue
+		}
+		if !g.Equal(g2) {
+			t.Errorf("binary round trip changed %v", g)
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := UnmarshalBinary(nil); err == nil {
+		t.Errorf("empty input: want error")
+	}
+	if _, err := UnmarshalBinary([]byte{255, 1}); err == nil {
+		t.Errorf("bad kind: want error")
+	}
+	good := MarshalBinary(NewPoint(1, 2))
+	if _, err := UnmarshalBinary(good[:len(good)-4]); err == nil {
+		t.Errorf("truncated input: want error")
+	}
+	if _, err := UnmarshalBinary(append(good, 0)); err == nil {
+		t.Errorf("trailing bytes: want error")
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 200; i++ {
+		g := randomRect(t, rng)
+		g2, err := UnmarshalBinary(MarshalBinary(g))
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if !g.Equal(g2) {
+			t.Fatalf("binary round trip changed %v", g)
+		}
+	}
+}

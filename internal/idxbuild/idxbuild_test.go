@@ -1,0 +1,142 @@
+package idxbuild
+
+import (
+	"testing"
+
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/quadtree"
+	"spatialtf/internal/rtree"
+	"spatialtf/internal/storage"
+)
+
+func loadTable(t testing.TB, ds datagen.Dataset) *storage.Table {
+	t.Helper()
+	tab, _, err := datagen.LoadTable(ds.Name, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestCreateRtreeAllWorkerCountsEquivalent(t *testing.T) {
+	ds := datagen.BlockGroups(800, 47)
+	tab := loadTable(t, ds)
+	var baseline map[storage.RowID]bool
+	for _, w := range []int{1, 2, 4} {
+		tree, stats, err := CreateRtree(tab, "geom", 0, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if tree.Len() != tab.Len() {
+			t.Fatalf("workers=%d: indexed %d of %d rows", w, tree.Len(), tab.Len())
+		}
+		if stats.Rows != tab.Len() || stats.Entries != tab.Len() || stats.Workers != w {
+			t.Errorf("workers=%d: stats %+v", w, stats)
+		}
+		if stats.Total <= 0 {
+			t.Errorf("workers=%d: zero total time", w)
+		}
+		// Same query answers at every parallelism.
+		q := geom.MBR{MinX: 200, MinY: 200, MaxX: 400, MaxY: 400}
+		got := map[storage.RowID]bool{}
+		tree.Search(q, func(it rtree.Item) bool {
+			got[it.ID] = true
+			return true
+		})
+		if baseline == nil {
+			baseline = got
+		} else if len(got) != len(baseline) {
+			t.Fatalf("workers=%d: %d hits, baseline %d", w, len(got), len(baseline))
+		}
+	}
+}
+
+func TestCreateQuadtreeAllWorkerCountsEquivalent(t *testing.T) {
+	ds := datagen.BlockGroups(300, 53)
+	tab := loadTable(t, ds)
+	grid, err := quadtree.NewGrid(ds.Bounds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entryCount int
+	var baseline map[storage.RowID]bool
+	for _, w := range []int{1, 2, 4} {
+		idx, stats, err := CreateQuadtree(tab, "geom", grid, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if stats.Rows != tab.Len() || stats.Workers != w {
+			t.Errorf("workers=%d: stats %+v", w, stats)
+		}
+		if idx.EntryCount() == 0 {
+			t.Fatalf("workers=%d: empty index", w)
+		}
+		if entryCount == 0 {
+			entryCount = idx.EntryCount()
+		} else if idx.EntryCount() != entryCount {
+			t.Fatalf("workers=%d: %d entries, baseline %d", w, idx.EntryCount(), entryCount)
+		}
+		got := map[storage.RowID]bool{}
+		for _, id := range idx.WindowCandidates(geom.MBR{MinX: 100, MinY: 100, MaxX: 500, MaxY: 500}) {
+			got[id] = true
+		}
+		if baseline == nil {
+			baseline = got
+		} else {
+			if len(got) != len(baseline) {
+				t.Fatalf("workers=%d: %d candidates, baseline %d", w, len(got), len(baseline))
+			}
+			for id := range got {
+				if !baseline[id] {
+					t.Fatalf("workers=%d: candidate sets differ at %v", w, id)
+				}
+			}
+		}
+	}
+}
+
+func TestCreateErrorsOnBadColumn(t *testing.T) {
+	tab := loadTable(t, datagen.Stars(10, 59))
+	if _, _, err := CreateRtree(tab, "nope", 0, 1); err == nil {
+		t.Errorf("bad column rtree: want error")
+	}
+	grid, _ := quadtree.NewGrid(datagen.World, 5)
+	if _, _, err := CreateQuadtree(tab, "nope", grid, 1); err == nil {
+		t.Errorf("bad column quadtree: want error")
+	}
+}
+
+func TestCreateQuadtreeGeometryOutsideGridFails(t *testing.T) {
+	tab := loadTable(t, datagen.Stars(20, 61))
+	tiny, err := quadtree.NewGrid(geom.MBR{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CreateQuadtree(tab, "geom", tiny, 2); err == nil {
+		t.Errorf("out-of-grid geometries: want error")
+	}
+}
+
+func TestQuadtreeTessellationDominatesLoadPhase(t *testing.T) {
+	// The paper's Table 3 premise: for complex polygons, quadtree
+	// creation (tessellation) costs far more than R-tree creation
+	// (MBR computation).
+	ds := datagen.BlockGroups(300, 67)
+	tab := loadTable(t, ds)
+	grid, _ := quadtree.NewGrid(ds.Bounds, 8)
+	_, qs, err := CreateQuadtree(tab, "geom", grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs, err := CreateRtree(tab, "geom", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Total < rs.Total {
+		t.Errorf("quadtree build (%v) faster than rtree build (%v); tessellation should dominate", qs.Total, rs.Total)
+	}
+}

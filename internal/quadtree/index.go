@@ -1,0 +1,190 @@
+package quadtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spatialtf/internal/btree"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+// Index is a linear quadtree index over the geometry column of a table:
+// a B-tree whose keys are (tile code, rowid) pairs. It is the Go
+// rendering of Oracle Spatial's quadtree "spatial index table" plus the
+// B-tree built on the tile codes.
+type Index struct {
+	grid Grid
+	bt   *btree.Tree
+	// tilesPerRow tracks the tessellation size for stats; keyed storage
+	// keeps the authoritative data.
+	entryCount int
+}
+
+// keyOf builds the B-tree key for (tile, rowid): 8-byte big-endian tile
+// code followed by the 6-byte rowid, so keys group by tile and range
+// scans by tile prefix find all rows touching the tile.
+func keyOf(t Tile, id storage.RowID) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(t))
+	return id.AppendTo(buf[:])
+}
+
+// splitKey parses a key back into (tile, rowid).
+func splitKey(k []byte) (Tile, storage.RowID, error) {
+	if len(k) != 14 {
+		return 0, storage.InvalidRowID, fmt.Errorf("quadtree: bad key length %d", len(k))
+	}
+	id, err := storage.RowIDFromBytes(k[8:])
+	if err != nil {
+		return 0, storage.InvalidRowID, err
+	}
+	return Tile(binary.BigEndian.Uint64(k[:8])), id, nil
+}
+
+// tilePrefix returns the 8-byte prefix for a tile's key range.
+func tilePrefix(t Tile) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(t))
+	return buf[:]
+}
+
+// NewIndex returns an empty index on the given grid.
+func NewIndex(grid Grid) *Index {
+	return &Index{grid: grid, bt: btree.New()}
+}
+
+// NewIndexFromEntries builds an index from pre-tessellated entries via
+// the (optionally parallel) B-tree bulk loader. The parallel index
+// builder produces the entries with a parallel table function and hands
+// them here, mirroring the paper's two-step quadtree creation.
+func NewIndexFromEntries(grid Grid, entries []btree.Entry, workers int) *Index {
+	idx := &Index{grid: grid}
+	idx.bt = btree.ParallelBulkLoad(entries, workers)
+	idx.entryCount = idx.bt.Len()
+	return idx
+}
+
+// Grid returns the tiling parameters.
+func (idx *Index) Grid() Grid { return idx.grid }
+
+// EntryCount returns the number of (tile, rowid) index entries — the
+// size of the quadtree index table.
+func (idx *Index) EntryCount() int { return idx.bt.Len() }
+
+// BTreeStats exposes the backing B-tree shape.
+func (idx *Index) BTreeStats() btree.Stats { return idx.bt.Stats() }
+
+// EntriesFor tessellates g under the index grid and returns the B-tree
+// entries that link each covering tile to id. It is the per-row work the
+// parallel tessellation table function performs.
+func EntriesFor(grid Grid, g geom.Geometry, id storage.RowID) ([]btree.Entry, error) {
+	tiles, err := Tessellate(grid, g)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]btree.Entry, len(tiles))
+	for i, t := range tiles {
+		entries[i] = btree.Entry{Key: keyOf(t, id)}
+	}
+	return entries, nil
+}
+
+// InsertGeometry indexes one row — the index-maintenance path run by
+// DML on an indexed table.
+func (idx *Index) InsertGeometry(id storage.RowID, g geom.Geometry) error {
+	tiles, err := Tessellate(idx.grid, g)
+	if err != nil {
+		return err
+	}
+	for _, t := range tiles {
+		idx.bt.Insert(keyOf(t, id), nil)
+	}
+	return nil
+}
+
+// DeleteGeometry removes the index entries for one row.
+func (idx *Index) DeleteGeometry(id storage.RowID, g geom.Geometry) error {
+	tiles, err := Tessellate(idx.grid, g)
+	if err != nil {
+		return err
+	}
+	for _, t := range tiles {
+		if err := idx.bt.Delete(keyOf(t, id)); err != nil {
+			return fmt.Errorf("quadtree: delete tile %d of %v: %w", t, id, err)
+		}
+	}
+	return nil
+}
+
+// WindowCandidates returns the distinct rowids whose tile sets intersect
+// the window's tile cover — the primary filter of a quadtree window
+// query. Callers apply the exact (secondary) geometry predicate to the
+// candidates.
+func (idx *Index) WindowCandidates(w geom.MBR) []storage.RowID {
+	seen := map[storage.RowID]bool{}
+	var out []storage.RowID
+	for _, t := range CoverWindow(idx.grid, w) {
+		idx.bt.AscendPrefix(tilePrefix(t), func(k, v []byte) bool {
+			_, id, err := splitKey(k)
+			if err == nil && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// TilePairs performs the quadtree join primary filter between two
+// indexes sharing a grid: a merge join over the two tile-sorted B-trees
+// emitting every (rowid, rowid) pair that shares a tile. Pairs may
+// repeat across tiles; callers dedupe.
+func TilePairs(a, b *Index, emit func(ida, idb storage.RowID) bool) error {
+	if a.grid != b.grid {
+		return fmt.Errorf("quadtree: join across different grids (%v level %d vs %v level %d)",
+			a.grid.Bounds, a.grid.Level, b.grid.Bounds, b.grid.Level)
+	}
+	// Collect per-tile rowid groups from a, then probe b's identical
+	// tile ranges. Both trees are tile-ordered, so this is a merge-style
+	// sweep using prefix scans.
+	type group struct {
+		tile Tile
+		ids  []storage.RowID
+	}
+	var groups []group
+	var cur *group
+	a.bt.Ascend(func(k, v []byte) bool {
+		t, id, err := splitKey(k)
+		if err != nil {
+			return true
+		}
+		if cur == nil || cur.tile != t {
+			groups = append(groups, group{tile: t})
+			cur = &groups[len(groups)-1]
+		}
+		cur.ids = append(cur.ids, id)
+		return true
+	})
+	for _, g := range groups {
+		stop := false
+		b.bt.AscendPrefix(tilePrefix(g.tile), func(k, v []byte) bool {
+			_, idb, err := splitKey(k)
+			if err != nil {
+				return true
+			}
+			for _, ida := range g.ids {
+				if !emit(ida, idb) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

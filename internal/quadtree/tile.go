@@ -1,0 +1,128 @@
+// Package quadtree implements Oracle Spatial's Linear Quadtree index:
+// geometries are tessellated into fixed-level tiles at index-creation
+// time, the tile codes are stored in a B-tree, and window queries are
+// answered by decomposing the query window into the same tiling and
+// range-scanning the B-tree. Tessellation of "large and complex polygon
+// geometries" is the dominant index-creation cost — exactly the property
+// the paper's §5 exploits by parallelising it with table functions.
+package quadtree
+
+import (
+	"fmt"
+
+	"spatialtf/internal/geom"
+)
+
+// MaxLevel bounds the tiling level so a tile code's interleaved
+// coordinates fit a uint64 Morton code.
+const MaxLevel = 24
+
+// Tile identifies one fixed-level quadtree cell by its Morton (Z-order)
+// code. At level L the space is a 2^L × 2^L grid; the code interleaves
+// the cell's x and y indexes so that B-tree order follows the Z curve,
+// keeping spatially adjacent tiles nearly adjacent in key space.
+type Tile uint64
+
+// Grid fixes the tiling domain and level. The domain corresponds to the
+// coordinate bounds recorded in Oracle's spatial metadata; geometries
+// must lie within it.
+type Grid struct {
+	Bounds geom.MBR
+	Level  int
+}
+
+// NewGrid validates and returns a tiling grid.
+func NewGrid(bounds geom.MBR, level int) (Grid, error) {
+	if !bounds.Valid() {
+		return Grid{}, fmt.Errorf("quadtree: invalid grid bounds %v", bounds)
+	}
+	if level < 1 || level > MaxLevel {
+		return Grid{}, fmt.Errorf("quadtree: level %d out of range [1, %d]", level, MaxLevel)
+	}
+	return Grid{Bounds: bounds, Level: level}, nil
+}
+
+// Side returns the number of cells per axis, 2^Level.
+func (g Grid) Side() uint32 { return 1 << uint(g.Level) }
+
+// CellSize returns the width and height of one cell.
+func (g Grid) CellSize() (w, h float64) {
+	s := float64(g.Side())
+	return g.Bounds.Width() / s, g.Bounds.Height() / s
+}
+
+// CellAt returns the cell coordinates containing point p, clamped to the
+// grid.
+func (g Grid) CellAt(p geom.Point) (cx, cy uint32) {
+	w, h := g.CellSize()
+	fx := (p.X - g.Bounds.MinX) / w
+	fy := (p.Y - g.Bounds.MinY) / h
+	side := int64(g.Side())
+	ix := int64(fx)
+	iy := int64(fy)
+	if ix < 0 {
+		ix = 0
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if ix >= side {
+		ix = side - 1
+	}
+	if iy >= side {
+		iy = side - 1
+	}
+	return uint32(ix), uint32(iy)
+}
+
+// TileOf returns the tile code for cell (cx, cy).
+func (g Grid) TileOf(cx, cy uint32) Tile { return Tile(morton(cx, cy)) }
+
+// CellOf inverts TileOf.
+func (g Grid) CellOf(t Tile) (cx, cy uint32) { return demorton(uint64(t)) }
+
+// TileRect returns the spatial extent of tile t.
+func (g Grid) TileRect(t Tile) geom.MBR {
+	cx, cy := demorton(uint64(t))
+	w, h := g.CellSize()
+	return geom.MBR{
+		MinX: g.Bounds.MinX + float64(cx)*w,
+		MinY: g.Bounds.MinY + float64(cy)*h,
+		MaxX: g.Bounds.MinX + float64(cx+1)*w,
+		MaxY: g.Bounds.MinY + float64(cy+1)*h,
+	}
+}
+
+// morton interleaves the low 32 bits of x (even positions) and y (odd
+// positions).
+func morton(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// spread distributes the 32 bits of v across the even bit positions of
+// a uint64.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// demorton inverts morton.
+func demorton(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// compact gathers the even bit positions of z into a uint32.
+func compact(z uint64) uint32 {
+	x := z & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}

@@ -1,0 +1,90 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialtf/internal/geom"
+)
+
+func TestNearestFuncOrderedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	items := randomItems(rng, 2000, 1000)
+	tr := BulkLoad(append([]Item(nil), items...), 16)
+	q := geom.MBR{MinX: 500, MinY: 500, MaxX: 500, MaxY: 500}
+	prev := -1.0
+	n := 0
+	tr.NearestFunc(q, func(it Item, lower float64) bool {
+		if lower < prev {
+			t.Fatalf("distances out of order: %g after %g", lower, prev)
+		}
+		if got := it.MBR.Dist(q); got != lower {
+			t.Fatalf("reported lower bound %g != item MBR distance %g", lower, got)
+		}
+		prev = lower
+		n++
+		return true
+	})
+	if n != len(items) {
+		t.Fatalf("surfaced %d of %d items", n, len(items))
+	}
+}
+
+func TestNearestKAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	items := randomItems(rng, 1500, 1000)
+	tr := BulkLoad(append([]Item(nil), items...), 16)
+	for trial := 0; trial < 20; trial++ {
+		x := rng.Float64() * 1000
+		y := rng.Float64() * 1000
+		q := geom.MBR{MinX: x, MinY: y, MaxX: x, MaxY: y}
+		k := 1 + rng.Intn(20)
+		got := tr.NearestK(q, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: NearestK returned %d", trial, len(got))
+		}
+		// Brute-force k-th smallest MBR distance.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.MBR.Dist(q)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			d := it.MBR.Dist(q)
+			// Each returned distance must equal the i-th smallest
+			// (allowing ties to swap items, distances must match).
+			if d != dists[i] {
+				t.Fatalf("trial %d: result %d at distance %g, want %g", trial, i, d, dists[i])
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := New(8)
+	if got := tr.NearestK(geom.MBR{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 5); len(got) != 0 {
+		t.Errorf("empty tree NearestK = %v", got)
+	}
+	tr.Insert(Item{MBR: geom.MBR{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, ID: rid(0)})
+	if got := tr.NearestK(geom.MBR{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, 0); got != nil {
+		t.Errorf("k=0 NearestK = %v", got)
+	}
+	got := tr.NearestK(geom.MBR{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, 10)
+	if len(got) != 1 {
+		t.Errorf("k>size NearestK = %d items", len(got))
+	}
+	// Early stop.
+	rng := rand.New(rand.NewSource(419))
+	for _, it := range randomItems(rng, 100, 50) {
+		tr.Insert(it)
+	}
+	n := 0
+	tr.NearestFunc(geom.MBR{MinX: 25, MinY: 25, MaxX: 25, MaxY: 25}, func(Item, float64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}

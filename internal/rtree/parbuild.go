@@ -1,0 +1,116 @@
+package rtree
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ParallelBulkLoad builds an R-tree using the paper's §5 strategy:
+// "subtrees are constructed on subsets of data in parallel and merged at
+// the end". Items are range-partitioned on X centroid (so subtrees
+// cover disjoint vertical strips and the merged tree stays well
+// clustered), each partition is STR-packed by its own goroutine, and the
+// subtree roots are merged under packed upper levels.
+//
+// The result is structurally equivalent to a sequential STR build: same
+// height discipline (all leaves at one depth) and the same item set;
+// tests assert query-result equivalence.
+func ParallelBulkLoad(items []Item, maxEntries, workers int) *Tree {
+	if workers < 1 {
+		workers = 1
+	}
+	t := New(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	if workers == 1 || len(items) < workers*t.maxEntries*2 {
+		return BulkLoad(items, maxEntries)
+	}
+
+	// Phase 1 (parallelised in the paper by a table function): the items
+	// — already (mbr, rowid) pairs here — are range-partitioned on X.
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].MBR.Center().X < items[j].MBR.Center().X
+	})
+	chunkLen := (len(items) + workers - 1) / workers
+	var chunks [][]Item
+	for start := 0; start < len(items); start += chunkLen {
+		end := start + chunkLen
+		if end > len(items) {
+			end = len(items)
+		}
+		chunks = append(chunks, items[start:end])
+	}
+
+	// Phase 2: cluster subtrees in parallel.
+	subLeaves := make([][]*node, len(chunks))
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		wg.Add(1)
+		go func(i int, c []Item) {
+			defer wg.Done()
+			subLeaves[i] = packLeaves(c, t.maxEntries)
+		}(i, c)
+	}
+	wg.Wait()
+
+	// Phase 3: merge. All partitions produced leaves at the same level,
+	// so concatenating the leaf lists and packing upward yields a valid
+	// tree with uniform leaf depth.
+	var leaves []*node
+	for _, ls := range subLeaves {
+		leaves = append(leaves, ls...)
+	}
+	root, height := packUpward(leaves, t.maxEntries)
+	t.root = root
+	t.height = height
+	t.size = len(items)
+	return t
+}
+
+// ParallelBulkLoadSim performs the same build as ParallelBulkLoad but
+// under a multi-processor simulator for single-core hosts: each
+// partition's subtree clustering runs serially and is timed in
+// isolation, and the reported clusterMakespan is the maximum instance
+// time (the parallel phase's completion time on `workers` processors).
+// mergeTime is the inherently serial upper-level merge. The resulting
+// tree is identical to a ParallelBulkLoad with the same inputs.
+func ParallelBulkLoadSim(items []Item, maxEntries, workers int) (tree *Tree, clusterMakespan, mergeTime time.Duration) {
+	if workers < 1 {
+		workers = 1
+	}
+	t := New(maxEntries)
+	if len(items) == 0 {
+		return t, 0, 0
+	}
+	if workers == 1 || len(items) < workers*t.maxEntries*2 {
+		t0 := time.Now()
+		tr := BulkLoad(items, maxEntries)
+		return tr, time.Since(t0), 0
+	}
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].MBR.Center().X < items[j].MBR.Center().X
+	})
+	chunkLen := (len(items) + workers - 1) / workers
+	var leaves []*node
+	for start := 0; start < len(items); start += chunkLen {
+		end := start + chunkLen
+		if end > len(items) {
+			end = len(items)
+		}
+		t0 := time.Now()
+		ls := packLeaves(items[start:end], t.maxEntries)
+		if d := time.Since(t0); d > clusterMakespan {
+			clusterMakespan = d
+		}
+		leaves = append(leaves, ls...)
+	}
+	t0 := time.Now()
+	root, height := packUpward(leaves, t.maxEntries)
+	mergeTime = time.Since(t0)
+	t.root = root
+	t.height = height
+	t.size = len(items)
+	return t, clusterMakespan, mergeTime
+}

@@ -1,0 +1,527 @@
+// Package rtree implements the R-tree spatial index of Oracle Spatial as
+// described in the paper: a Guttman-style dynamic R-tree with quadratic
+// node splits, an STR packed bulk loader, a parallel subtree build used
+// by the paper's §5 parallel index creation, and subtree-root
+// enumeration at a chosen level used by the §4.1 parallel spatial join.
+//
+// The tree indexes geometry MBRs keyed by rowid; the exact geometries
+// stay in the base table and are fetched by the join's secondary filter.
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+// DefaultMaxEntries is the default node fanout. The metadata row of an
+// Oracle Spatial R-tree records the same parameter.
+const DefaultMaxEntries = 32
+
+// ErrNotFound is returned by Delete when (id, mbr) is not in the tree.
+var ErrNotFound = errors.New("rtree: entry not found")
+
+// Item is one indexed datum: the MBR approximation of a geometry and the
+// rowid of the base-table row holding the exact geometry. Interior
+// optionally carries an interior approximation (a rectangle guaranteed
+// to lie inside the geometry, per Kothuri & Ravada's SSTD 2001 paper);
+// joins use it to accept candidates without fetching exact geometries.
+// A zero or zero-area Interior means "no interior approximation".
+type Item struct {
+	MBR      geom.MBR
+	Interior geom.MBR
+	ID       storage.RowID
+}
+
+// entry is a node slot: child is set on internal nodes, item on leaves.
+type entry struct {
+	mbr geom.MBR
+	// interior is only meaningful on leaf entries.
+	interior geom.MBR
+	child    *node
+	id       storage.RowID
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) mbr() geom.MBR {
+	m := geom.EmptyMBR()
+	for _, e := range n.entries {
+		m = m.Union(e.mbr)
+	}
+	return m
+}
+
+// Tree is an R-tree. Readers (queries, joins, subtree enumeration) may
+// run concurrently; writers are exclusive. NodeRef handles obtained from
+// Root or SubtreeRoots are snapshots only in the absence of concurrent
+// writes — the join workloads in this library build indexes fully before
+// querying them, matching the paper's experimental setup.
+type Tree struct {
+	mu         sync.RWMutex
+	root       *node
+	height     int // leaves are level 1
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+// New returns an empty tree with the given maximum node fanout
+// (0 selects DefaultMaxEntries). Minimum occupancy is 40 % of maximum,
+// the usual Guttman recommendation.
+func New(maxEntries int) *Tree {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	minEntries := maxEntries * 2 / 5
+	if minEntries < 2 {
+		minEntries = 2
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		height:     1,
+		maxEntries: maxEntries,
+		minEntries: minEntries,
+	}
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Height returns the tree height (1 for a leaf-only tree).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// MaxEntries returns the node fanout parameter.
+func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// Bounds returns the MBR of everything in the tree.
+func (t *Tree) Bounds() geom.MBR {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root.mbr()
+}
+
+// Insert adds item to the tree.
+func (t *Tree) Insert(item Item) error {
+	if !item.MBR.Valid() {
+		return fmt.Errorf("rtree: insert %v: invalid MBR %v", item.ID, item.MBR)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertAtLevel(entry{mbr: item.MBR, interior: item.Interior, id: item.ID}, 1)
+	t.size++
+	return nil
+}
+
+// insertAtLevel places e at the given level (1 = leaf), splitting and
+// growing the root as needed.
+func (t *Tree) insertAtLevel(e entry, level int) {
+	split := t.insertInto(t.root, e, level, t.height)
+	if split != nil {
+		old := t.root
+		t.root = &node{entries: []entry{
+			{mbr: old.mbr(), child: old},
+			{mbr: split.mbr(), child: split},
+		}}
+		t.height++
+	}
+}
+
+// insertInto descends from n (at nodeLevel) to the target level, inserts
+// e, and returns a new sibling if n split.
+func (t *Tree) insertInto(n *node, e entry, level, nodeLevel int) *node {
+	if nodeLevel == level {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	i := chooseSubtree(n, e.mbr)
+	child := n.entries[i].child
+	split := t.insertInto(child, e, level, nodeLevel-1)
+	n.entries[i].mbr = child.mbr()
+	if split != nil {
+		n.entries = append(n.entries, entry{mbr: split.mbr(), child: split})
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose MBR needs least enlargement to
+// absorb m, breaking ties by smaller area (Guttman's ChooseLeaf).
+func chooseSubtree(n *node, m geom.MBR) int {
+	best := 0
+	bestEnl := n.entries[0].mbr.Enlargement(m)
+	bestArea := n.entries[0].mbr.Area()
+	for i := 1; i < len(n.entries); i++ {
+		enl := n.entries[i].mbr.Enlargement(m)
+		area := n.entries[i].mbr.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode performs Guttman's quadratic split in place, leaving half
+// the entries in n and returning a new sibling with the rest.
+func (t *Tree) splitNode(n *node) *node {
+	entries := n.entries
+	// Pick seeds: the pair wasting the most area if grouped together.
+	s1, s2 := pickSeeds(entries)
+	g1 := []entry{entries[s1]}
+	g2 := []entry{entries[s2]}
+	m1 := entries[s1].mbr
+	m2 := entries[s2].mbr
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment if one group must take all remaining to meet
+		// the minimum.
+		if len(g1)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				g1 = append(g1, e)
+				m1 = m1.Union(e.mbr)
+			}
+			break
+		}
+		if len(g2)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				g2 = append(g2, e)
+				m2 = m2.Union(e.mbr)
+			}
+			break
+		}
+		// PickNext: the entry with the greatest preference difference.
+		bestIdx, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i, e := range rest {
+			d1 := m1.Enlargement(e.mbr)
+			d2 := m2.Enlargement(e.mbr)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+				bestD1, bestD2 = d1, d2
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		// Assign to the group needing less enlargement; ties by area,
+		// then by count.
+		toG1 := false
+		switch {
+		case bestD1 < bestD2:
+			toG1 = true
+		case bestD2 < bestD1:
+			toG1 = false
+		case m1.Area() < m2.Area():
+			toG1 = true
+		case m2.Area() < m1.Area():
+			toG1 = false
+		default:
+			toG1 = len(g1) <= len(g2)
+		}
+		if toG1 {
+			g1 = append(g1, e)
+			m1 = m1.Union(e.mbr)
+		} else {
+			g2 = append(g2, e)
+			m2 = m2.Union(e.mbr)
+		}
+	}
+	n.entries = g1
+	return &node{leaf: n.leaf, entries: g2}
+}
+
+// pickSeeds returns the indexes of the two entries whose combined MBR
+// wastes the most area.
+func pickSeeds(entries []entry) (int, int) {
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].mbr.Union(entries[j].mbr).Area() -
+				entries[i].mbr.Area() - entries[j].mbr.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	return s1, s2
+}
+
+// Delete removes the item with the given id whose stored MBR intersects
+// item.MBR. It implements Guttman's CondenseTree: underflowing nodes are
+// dissolved and their data entries reinserted.
+func (t *Tree) Delete(item Item) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, idx := t.findLeaf(t.root, item)
+	if leaf == nil {
+		return fmt.Errorf("%w: %v", ErrNotFound, item.ID)
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	var orphans []entry
+	t.condense(t.root, t.height, &orphans)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+		t.height = 1
+	}
+	for _, e := range orphans {
+		t.insertAtLevel(e, 1)
+	}
+	return nil
+}
+
+// findLeaf locates the leaf and slot holding item.
+func (t *Tree) findLeaf(n *node, item Item) (*node, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == item.ID {
+				return n, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.mbr.Intersects(item.MBR) {
+			if leaf, i := t.findLeaf(e.child, item); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// condense removes underflowing descendants of n, collecting their data
+// entries into orphans, and tightens MBRs bottom-up.
+func (t *Tree) condense(n *node, level int, orphans *[]entry) {
+	if n.leaf {
+		return
+	}
+	kept := n.entries[:0]
+	for _, e := range n.entries {
+		t.condense(e.child, level-1, orphans)
+		// Non-root nodes must hold at least minEntries; dissolve any
+		// child that underflows and reinsert its data entries.
+		if len(e.child.entries) < t.minEntries {
+			collectItems(e.child, orphans)
+			continue
+		}
+		e.mbr = e.child.mbr()
+		kept = append(kept, e)
+	}
+	n.entries = kept
+}
+
+// collectItems gathers all data entries under n.
+func collectItems(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, e := range n.entries {
+		collectItems(e.child, out)
+	}
+}
+
+// Search calls fn for every item whose MBR intersects q, stopping early
+// if fn returns false.
+func (t *Tree) Search(q geom.MBR, fn func(Item) bool) {
+	t.SearchCounted(q, fn)
+}
+
+// SearchCounted is Search returning the number of index nodes visited —
+// the "buffer gets" a disk-resident execution of the probe would issue.
+// The nested-loop join baseline reports this to expose its repeated
+// index descents.
+func (t *Tree) SearchCounted(q geom.MBR, fn func(Item) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	visited := 0
+	searchNode(t.root, q, fn, &visited)
+	return visited
+}
+
+func searchNode(n *node, q geom.MBR, fn func(Item) bool, visited *int) bool {
+	*visited++
+	for _, e := range n.entries {
+		if !e.mbr.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(Item{MBR: e.mbr, Interior: e.interior, ID: e.id}) {
+				return false
+			}
+		} else if !searchNode(e.child, q, fn, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchWithinDist calls fn for every item whose MBR lies within
+// distance d of q — the primary filter for within-distance queries.
+func (t *Tree) SearchWithinDist(q geom.MBR, d float64, fn func(Item) bool) {
+	t.SearchWithinDistCounted(q, d, fn)
+}
+
+// SearchWithinDistCounted is SearchWithinDist returning the number of
+// index nodes visited.
+func (t *Tree) SearchWithinDistCounted(q geom.MBR, d float64, fn func(Item) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	visited := 0
+	searchDistNode(t.root, q, d, fn, &visited)
+	return visited
+}
+
+func searchDistNode(n *node, q geom.MBR, d float64, fn func(Item) bool, visited *int) bool {
+	*visited++
+	for _, e := range n.entries {
+		if e.mbr.Dist(q) > d {
+			continue
+		}
+		if n.leaf {
+			if !fn(Item{MBR: e.mbr, Interior: e.interior, ID: e.id}) {
+				return false
+			}
+		} else if !searchDistNode(e.child, q, d, fn, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// Items returns every indexed item (in unspecified order).
+func (t *Tree) Items() []Item {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Item, 0, t.size)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for _, e := range n.entries {
+				out = append(out, Item{MBR: e.mbr, Interior: e.interior, ID: e.id})
+			}
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Stats describes the tree shape for the index metadata report.
+type Stats struct {
+	Items      int
+	Height     int
+	Nodes      int
+	Leaves     int
+	AvgFanout  float64
+	MaxEntries int
+}
+
+// Stats returns shape statistics.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{Items: t.size, Height: t.height, MaxEntries: t.maxEntries}
+	total := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.Nodes++
+		total += len(n.entries)
+		if n.leaf {
+			s.Leaves++
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	if s.Nodes > 0 {
+		s.AvgFanout = float64(total) / float64(s.Nodes)
+	}
+	return s
+}
+
+// Validate checks the structural invariants: every node MBR equals the
+// union of its entries, leaves all at the same depth, occupancy bounds
+// on non-root nodes, and the item count. Tests run it after mutation
+// storms and after parallel builds.
+func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	count := 0
+	if err := t.validateNode(t.root, t.height, true, &count); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d items reachable", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree) validateNode(n *node, level int, isRoot bool, count *int) error {
+	if n.leaf != (level == 1) {
+		return fmt.Errorf("rtree: leaf flag %v at level %d", n.leaf, level)
+	}
+	if !isRoot && len(n.entries) < t.minEntries {
+		return fmt.Errorf("rtree: node at level %d underflows with %d entries", level, len(n.entries))
+	}
+	if len(n.entries) > t.maxEntries {
+		return fmt.Errorf("rtree: node at level %d overflows with %d entries", level, len(n.entries))
+	}
+	if n.leaf {
+		*count += len(n.entries)
+		return nil
+	}
+	for _, e := range n.entries {
+		got := e.child.mbr()
+		if got != e.mbr {
+			return fmt.Errorf("rtree: stale MBR at level %d: stored %v, actual %v", level, e.mbr, got)
+		}
+		if err := t.validateNode(e.child, level-1, false, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

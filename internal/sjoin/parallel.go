@@ -1,0 +1,116 @@
+package sjoin
+
+import (
+	"fmt"
+
+	"spatialtf/internal/rtree"
+	"spatialtf/internal/storage"
+	"spatialtf/internal/tablefunc"
+)
+
+// This file implements §4.1: "to better avail of the table-function-
+// level parallelism, we modify our approach to perform a spatial-join of
+// subtrees of the R-tree indexes. ... we descend each index by a certain
+// level and identify the roots of the subtrees at that level and join
+// the subtrees." The subtree-pair stream plays the role of the
+//
+//	CURSOR(select * from table(subtree_root(idxA, level)),
+//	                table(subtree_root(idxB, level)))
+//
+// operand: it is partitioned across the parallel instances of the
+// spatial_join function, each of which joins its assigned pairs.
+
+// SubtreePairs enumerates the cross product of the subtree roots of
+// both trees after descending each by the given level, keeping only
+// pairs whose subtree MBRs can satisfy the predicate (a disjoint pair
+// can produce no results and is pruned before scheduling). Descending
+// by 1 on Figure 1's trees yields (R11,S11), (R11,S12), (R12,S11),
+// (R12,S12).
+func SubtreePairs(a, b *rtree.Tree, descend int, cfg Config) []PairOfRoots {
+	cfg = cfg.withDefaults()
+	ra := a.SubtreeRoots(descend)
+	rb := b.SubtreeRoots(descend)
+	var out []PairOfRoots
+	for _, na := range ra {
+		ma := na.MBR()
+		for _, nb := range rb {
+			if cfg.primaryAccepts(ma, nb.MBR()) {
+				out = append(out, PairOfRoots{A: na, B: nb})
+			}
+		}
+	}
+	return out
+}
+
+// PairOfRoots is one subtree-join task.
+type PairOfRoots struct {
+	A, B rtree.NodeRef
+}
+
+// SubtreePairsForWorkers picks the smallest descend level whose pruned
+// cross product yields at least `want` tasks (the paper: "we descend
+// both trees as far below as to get appropriate number of subtree-
+// joins"), defaulting to a few tasks per worker for balance.
+func SubtreePairsForWorkers(a, b *rtree.Tree, workers int, cfg Config) []PairOfRoots {
+	if workers < 1 {
+		workers = 1
+	}
+	want := workers * 4 // a few tasks per instance smooths skew
+	maxDescend := a.Height() - 1
+	if h := b.Height() - 1; h < maxDescend {
+		maxDescend = h
+	}
+	var pairs []PairOfRoots
+	for d := 0; ; d++ {
+		pairs = SubtreePairs(a, b, d, cfg)
+		if len(pairs) >= want || d >= maxDescend {
+			return pairs
+		}
+	}
+}
+
+// ParallelIndexJoin evaluates the spatial join with `workers` parallel
+// instances of the spatial_join table function, each joining a
+// partition of the subtree-pair stream. The returned cursor merges the
+// instances' pipelined outputs (order unspecified).
+func ParallelIndexJoin(a, b Source, cfg Config, workers int) (storage.Cursor, error) {
+	cfg = cfg.withDefaults()
+	if workers < 1 {
+		workers = 1
+	}
+	if _, err := a.geomColumn(); err != nil {
+		return nil, err
+	}
+	if _, err := b.geomColumn(); err != nil {
+		return nil, err
+	}
+	pairs := SubtreePairsForWorkers(a.Tree, b.Tree, workers, cfg)
+
+	// Deal the tasks round-robin into `workers` partitions, mirroring
+	// the runtime partitioning of the input cursor across instances.
+	parts := make([][]nodePair, workers)
+	for i, p := range pairs {
+		parts[i%workers] = append(parts[i%workers], nodePair{p.A, p.B})
+	}
+	var cursors []storage.Cursor
+	var tasks [][]nodePair
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		tasks = append(tasks, part)
+		// The instance's input cursor is its task list; content is
+		// delivered via the factory closure, the cursor is positional.
+		cursors = append(cursors, storage.NewSliceCursor(nil, make([]storage.Row, len(part))))
+	}
+	if len(cursors) == 0 {
+		return storage.NewSliceCursor(nil, nil), nil
+	}
+	factory := func(instance int, input storage.Cursor) (tablefunc.TableFunction, error) {
+		if instance < 0 || instance >= len(tasks) {
+			return nil, fmt.Errorf("sjoin: no tasks for instance %d", instance)
+		}
+		return newJoinFn(a, b, cfg, tasks[instance])
+	}
+	return tablefunc.Parallel(cursors, factory, cfg.FetchBatch), nil
+}

@@ -1,0 +1,79 @@
+package sjoin
+
+import (
+	"testing"
+
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/idxbuild"
+	"spatialtf/internal/quadtree"
+)
+
+func buildQSource(t testing.TB, name string, ds datagen.Dataset, level int) (QSource, Source) {
+	t.Helper()
+	tab, _, err := datagen.LoadTable(name, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := quadtree.NewGrid(ds.Bounds, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qidx, _, err := idxbuild.CreateQuadtree(tab, "geom", grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _, err := idxbuild.CreateRtree(tab, "geom", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return QSource{Table: tab, Column: "geom", Index: qidx},
+		Source{Table: tab, Column: "geom", Tree: tree}
+}
+
+func TestQuadtreeJoinEqualsRtreeJoin(t *testing.T) {
+	qa, sa := buildQSource(t, "stars", datagen.Stars(500, 37), 7)
+	cfg := DefaultConfig()
+	cur, err := IndexJoin(sa, sa, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CollectPairs(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(want)
+	got, err := QuadtreeJoin(qa, qa, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(got)
+	if !pairsEqual(got, want) {
+		t.Fatalf("quadtree join %d pairs, rtree join %d", len(got), len(want))
+	}
+	if len(got) == 0 {
+		t.Fatalf("degenerate test: empty join result")
+	}
+}
+
+func TestQuadtreeJoinCountiesEqualsBruteForce(t *testing.T) {
+	qa, sa := buildQSource(t, "counties", datagen.Counties(64, 41), 6)
+	cfg := DefaultConfig()
+	want := bruteForce(t, sa, sa, cfg)
+	got, err := QuadtreeJoin(qa, qa, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(got)
+	if !pairsEqual(got, want) {
+		t.Fatalf("quadtree join %d pairs, brute force %d", len(got), len(want))
+	}
+}
+
+func TestQuadtreeJoinRejectsDistance(t *testing.T) {
+	qa, _ := buildQSource(t, "stars", datagen.Stars(50, 43), 6)
+	cfg := DefaultConfig()
+	cfg.Distance = 5
+	if _, err := QuadtreeJoin(qa, qa, cfg); err == nil {
+		t.Fatalf("distance quadtree join: want error")
+	}
+}

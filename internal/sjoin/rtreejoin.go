@@ -1,0 +1,297 @@
+package sjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialtf/internal/geom"
+	"spatialtf/internal/rtree"
+	"spatialtf/internal/storage"
+	"spatialtf/internal/tablefunc"
+)
+
+// JoinFunction is the spatial_join pipelined table function of §4.2. Its state
+// across fetch calls is:
+//
+//   - a stack of R-tree node pairs still to be traversed (seeded in the
+//     start method with the subtree-root pairs passed in), and
+//   - the bounded candidate array filled by the index (primary) filter
+//     and drained by the geometry (secondary) filter.
+//
+// Each fetch call resumes the traversal from the stack, refilling the
+// candidate array as it empties, evaluating candidates exactly, and
+// returning up to the requested number of result rowid pairs. When the
+// stack and array are empty the fetch returns an empty collection and
+// the subsequent close releases resources.
+type JoinFunction struct {
+	cfg Config
+
+	// Operand tables for the secondary filter.
+	tabA, tabB *storage.Table
+	colA, colB int
+
+	// Roots to traverse: the single (rootA, rootB) pair for the serial
+	// join, or this instance's share of the subtree-pair cross product
+	// for the parallel join.
+	roots []nodePair
+
+	// Traversal stack.
+	stack []nodePair
+
+	// Candidate array (primary-filter output awaiting exact check).
+	cands []Pair
+
+	// Verified results not yet returned by fetch.
+	ready []Pair
+
+	// Statistics, reported through JoinStats.
+	stats JoinStats
+}
+
+// nodePair is one unit of synchronized traversal.
+type nodePair struct {
+	a, b rtree.NodeRef
+}
+
+// JoinStats counts the work a join did; benches report them.
+type JoinStats struct {
+	// NodePairsVisited counts stack pops (index-level work).
+	NodePairsVisited int
+	// NodeAccesses counts index node reads — the logical "buffer gets"
+	// a disk-resident execution would issue against the index segments.
+	// The synchronized tree join reads the two nodes of each visited
+	// pair; the nested loop re-descends the inner index per outer row.
+	NodeAccesses int
+	// Candidates counts primary-filter survivors.
+	Candidates int
+	// Results counts exact-predicate survivors.
+	Results int
+	// GeomFetches counts base-table geometry fetches in the secondary
+	// filter (cache hits on the sorted outer side avoid fetches).
+	GeomFetches int
+	// FastAccepts counts pairs proven intersecting from interior
+	// approximations alone, skipping the secondary filter entirely.
+	FastAccepts int
+}
+
+// newJoinFn builds the function for the given root pairs.
+func newJoinFn(a, b Source, cfg Config, roots []nodePair) (*JoinFunction, error) {
+	colA, err := a.geomColumn()
+	if err != nil {
+		return nil, err
+	}
+	colB, err := b.geomColumn()
+	if err != nil {
+		return nil, err
+	}
+	return &JoinFunction{
+		cfg:   cfg.withDefaults(),
+		tabA:  a.Table,
+		tabB:  b.Table,
+		colA:  colA,
+		colB:  colB,
+		roots: roots,
+	}, nil
+}
+
+// Start implements TableFunction: "the metadata of the two R-tree
+// indexes ... is loaded and the subtree roots ... are pushed onto a
+// stack".
+func (j *JoinFunction) Start() error {
+	j.stack = append(j.stack[:0], j.roots...)
+	return nil
+}
+
+// Fetch implements TableFunction: resume the join from the stack and
+// return up to max result pairs.
+func (j *JoinFunction) Fetch(max int) ([]storage.Row, error) {
+	out := make([]storage.Row, 0, max)
+	for len(out) < max {
+		// Drain verified results first.
+		if len(j.ready) > 0 {
+			p := j.ready[0]
+			j.ready = j.ready[1:]
+			out = append(out, pairRow(p))
+			continue
+		}
+		// Refill the candidate array by resuming the index traversal.
+		if len(j.stack) > 0 {
+			j.fillCandidates()
+		}
+		if len(j.cands) == 0 {
+			break // stack empty and no candidates: join complete
+		}
+		if err := j.secondaryFilter(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close implements TableFunction.
+func (j *JoinFunction) Close() error {
+	j.stack = nil
+	j.cands = nil
+	j.ready = nil
+	return nil
+}
+
+// Stats returns the accumulated work counters.
+func (j *JoinFunction) Stats() JoinStats { return j.stats }
+
+// fillCandidates runs the synchronized R-tree traversal until the
+// candidate array reaches capacity or the stack empties — the primary
+// (index MBR) filter.
+func (j *JoinFunction) fillCandidates() {
+	for len(j.stack) > 0 && len(j.cands) < j.cfg.CandidateCap {
+		top := j.stack[len(j.stack)-1]
+		j.stack = j.stack[:len(j.stack)-1]
+		j.stats.NodePairsVisited++
+		j.stats.NodeAccesses += 2
+		a, b := top.a, top.b
+		fastAccept := j.cfg.UseInteriorApprox && j.cfg.Distance == 0 && j.cfg.Mask == geom.MaskAnyInteract
+		switch {
+		case a.IsLeaf() && b.IsLeaf():
+			for i := 0; i < a.NumEntries(); i++ {
+				ma := a.EntryMBR(i)
+				var ia geom.MBR
+				if fastAccept {
+					ia = a.EntryInterior(i)
+				}
+				for k := 0; k < b.NumEntries(); k++ {
+					mb := b.EntryMBR(k)
+					if !j.cfg.primaryAccepts(ma, mb) {
+						continue
+					}
+					if fastAccept {
+						ib := b.EntryInterior(k)
+						// Interior rectangles are subsets of the exact
+						// geometries, so any of these conditions proves
+						// intersection without a geometry fetch.
+						if (ia.Area() > 0 && ib.Area() > 0 && ia.Intersects(ib)) ||
+							(ia.Area() > 0 && ia.Contains(mb)) ||
+							(ib.Area() > 0 && ib.Contains(ma)) {
+							j.ready = append(j.ready, Pair{A: a.EntryID(i), B: b.EntryID(k)})
+							j.stats.Results++
+							j.stats.FastAccepts++
+							continue
+						}
+					}
+					j.cands = append(j.cands, Pair{A: a.EntryID(i), B: b.EntryID(k)})
+					j.stats.Candidates++
+				}
+			}
+		case !a.IsLeaf() && !b.IsLeaf():
+			// Descend both sides, pairing children whose MBRs interact.
+			for i := 0; i < a.NumEntries(); i++ {
+				ma := a.EntryMBR(i)
+				for k := 0; k < b.NumEntries(); k++ {
+					if j.cfg.primaryAccepts(ma, b.EntryMBR(k)) {
+						j.stack = append(j.stack, nodePair{a.Child(i), b.Child(k)})
+					}
+				}
+			}
+		case a.IsLeaf():
+			// Unequal heights: descend only the taller (b) side.
+			for k := 0; k < b.NumEntries(); k++ {
+				if j.cfg.primaryAccepts(a.MBR(), b.EntryMBR(k)) {
+					j.stack = append(j.stack, nodePair{a, b.Child(k)})
+				}
+			}
+		default:
+			for i := 0; i < a.NumEntries(); i++ {
+				if j.cfg.primaryAccepts(a.EntryMBR(i), b.MBR()) {
+					j.stack = append(j.stack, nodePair{a.Child(i), b})
+				}
+			}
+		}
+	}
+}
+
+// secondaryFilter drains the candidate array: fetch exact geometries and
+// keep pairs satisfying the exact predicate. Per §4.2 the candidates are
+// sorted on the first rowid before fetching (Shekhar et al. show optimal
+// fetch order is NP-complete and rowid-sort is within ~20% of the best
+// approximations); sorting also lets consecutive candidates sharing the
+// first rowid reuse one fetched geometry.
+func (j *JoinFunction) secondaryFilter() error {
+	if j.cfg.SortCandidates {
+		sort.Slice(j.cands, func(i, k int) bool { return j.cands[i].Less(j.cands[k]) })
+	}
+	var (
+		curID   storage.RowID
+		curGeom geom.Geometry
+		haveCur bool
+	)
+	for _, p := range j.cands {
+		if !haveCur || curID != p.A {
+			v, err := j.tabA.FetchColumn(p.A, j.colA)
+			if err != nil {
+				return fmt.Errorf("sjoin: fetch %v from %q: %w", p.A, j.tabA.Name(), err)
+			}
+			curID, curGeom, haveCur = p.A, v.G, true
+			j.stats.GeomFetches++
+		}
+		v, err := j.tabB.FetchColumn(p.B, j.colB)
+		if err != nil {
+			return fmt.Errorf("sjoin: fetch %v from %q: %w", p.B, j.tabB.Name(), err)
+		}
+		j.stats.GeomFetches++
+		if j.cfg.secondaryAccepts(curGeom, v.G) {
+			j.ready = append(j.ready, p)
+			j.stats.Results++
+		}
+	}
+	j.cands = j.cands[:0]
+	return nil
+}
+
+// IndexJoin evaluates the spatial join of a and b through a single
+// pipelined spatial_join table function — the §4 formulation
+//
+//	select rid1, rid2 from TABLE(spatial_join(tabA, colA, tabB, colB, mask))
+//
+// The returned cursor streams (rid1, rid2) rows; decode with
+// PairFromRow or drain with CollectPairs.
+func IndexJoin(a, b Source, cfg Config) (storage.Cursor, error) {
+	fn, err := NewJoinFunction(a, b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tablefunc.Pipeline(fn, cfg.FetchBatch), nil
+}
+
+// RunJoinFunction drives a join function to completion and returns the
+// result-pair count and the work counters — the evaluation loop of a
+// "select count(*)" over the table function, used by the benchmarks.
+func RunJoinFunction(fn *JoinFunction, batch int) (int, JoinStats, error) {
+	if batch <= 0 {
+		batch = tablefunc.DefaultBatch
+	}
+	if err := fn.Start(); err != nil {
+		return 0, fn.Stats(), err
+	}
+	defer fn.Close()
+	count := 0
+	for {
+		rows, err := fn.Fetch(batch)
+		if err != nil {
+			return count, fn.Stats(), err
+		}
+		if len(rows) == 0 {
+			return count, fn.Stats(), nil
+		}
+		count += len(rows)
+	}
+}
+
+// NewJoinFunction returns the spatial_join table function joining the
+// roots of both indexes, for callers that drive start-fetch-close
+// directly (the facade and tests).
+func NewJoinFunction(a, b Source, cfg Config) (*JoinFunction, error) {
+	var roots []nodePair
+	if a.Tree.Len() > 0 && b.Tree.Len() > 0 {
+		roots = []nodePair{{a.Tree.Root(), b.Tree.Root()}}
+	}
+	return newJoinFn(a, b, cfg, roots)
+}

@@ -1,0 +1,464 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"spatialtf"
+)
+
+// Engine executes parsed statements against a spatialtf database.
+type Engine struct {
+	db *spatialtf.DB
+	// indexSeq numbers auto-created index names.
+	indexSeq int
+}
+
+// NewEngine returns an engine over a fresh database.
+func NewEngine() *Engine { return &Engine{db: spatialtf.Open()} }
+
+// NewEngineOn returns an engine over an existing database (so programs
+// can mix API and SQL access).
+func NewEngineOn(db *spatialtf.DB) *Engine { return &Engine{db: db} }
+
+// DB exposes the underlying database.
+func (e *Engine) DB() *spatialtf.DB { return e.db }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns and Rows are set for SELECT.
+	Columns []string
+	Rows    [][]string
+	// Count is set for SELECT COUNT(*).
+	Count int
+	// Message summarises DDL/DML outcomes.
+	Message string
+}
+
+// Execute parses and runs one statement.
+func (e *Engine) Execute(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case CreateTable:
+		return e.execCreateTable(s)
+	case Insert:
+		return e.execInsert(s)
+	case CreateIndex:
+		return e.execCreateIndex(s)
+	case Select:
+		return e.execSelect(s)
+	case Delete:
+		return e.execDelete(s)
+	case Update:
+		return e.execUpdate(s)
+	default:
+		return nil, fmt.Errorf("sqlmini: unhandled statement %T", stmt)
+	}
+}
+
+// whereIDs resolves the rowids a statement's WHERE clause selects
+// (all rows when where is nil).
+func (e *Engine) whereIDs(tableName string, tab *spatialtf.Table, where *Predicate) ([]spatialtf.RowID, error) {
+	if where == nil {
+		var ids []spatialtf.RowID
+		err := tab.Scan(func(id spatialtf.RowID, _ spatialtf.Row) bool {
+			ids = append(ids, id)
+			return true
+		})
+		return ids, err
+	}
+	q, err := spatialtf.ParseWKT(where.QueryWKT)
+	if err != nil {
+		return nil, fmt.Errorf("sqlmini: query geometry: %w", err)
+	}
+	idxName, err := e.indexFor(tableName, where.Column, "")
+	if err != nil {
+		return nil, err
+	}
+	switch where.Op {
+	case "relate":
+		return e.db.Relate(tableName, idxName, q, where.Mask)
+	case "withindistance":
+		return e.db.WithinDistance(tableName, idxName, q, where.Distance)
+	case "nearest":
+		// sdo_nn needs an R-tree specifically.
+		idxName, err = e.indexFor(tableName, where.Column, spatialtf.RTree)
+		if err != nil {
+			return nil, err
+		}
+		nbs, err := e.db.Nearest(tableName, idxName, q, where.K)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]spatialtf.RowID, len(nbs))
+		for i, nb := range nbs {
+			ids[i] = nb.ID
+		}
+		return ids, nil
+	default:
+		return nil, fmt.Errorf("sqlmini: unknown predicate %q", where.Op)
+	}
+}
+
+func (e *Engine) execDelete(s Delete) (*Result, error) {
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := e.whereIDs(s.Table, tab, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := tab.Delete(id); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("%d rows deleted", len(ids))}, nil
+}
+
+func (e *Engine) execUpdate(s Update) (*Result, error) {
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Inner().Schema()
+	// Resolve SET targets once.
+	type setTarget struct {
+		col int
+		val Literal
+	}
+	var targets []setTarget
+	for _, sc := range s.Sets {
+		i, err := tab.Inner().ColumnIndex(sc.Column)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, setTarget{col: i, val: sc.Value})
+	}
+	ids, err := e.whereIDs(s.Table, tab, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		row, err := tab.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range targets {
+			v, err := literalValue(schema[t.col], t.val)
+			if err != nil {
+				return nil, err
+			}
+			row[t.col] = v
+		}
+		if _, err := tab.Update(id, row...); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("%d rows updated", len(ids))}, nil
+}
+
+// literalValue converts a parsed literal to a typed column value.
+func literalValue(col spatialtf.Column, lit Literal) (spatialtf.Value, error) {
+	switch col.Type {
+	case spatialtf.TInt64:
+		if !lit.IsNum {
+			return spatialtf.Value{}, fmt.Errorf("sqlmini: column %q expects a number", col.Name)
+		}
+		return spatialtf.Int(int64(lit.Num)), nil
+	case spatialtf.TFloat64:
+		if !lit.IsNum {
+			return spatialtf.Value{}, fmt.Errorf("sqlmini: column %q expects a number", col.Name)
+		}
+		return spatialtf.Float(lit.Num), nil
+	case spatialtf.TString:
+		if !lit.IsString {
+			return spatialtf.Value{}, fmt.Errorf("sqlmini: column %q expects a string", col.Name)
+		}
+		return spatialtf.Str(lit.Str), nil
+	case spatialtf.TGeometry:
+		if !lit.IsString {
+			return spatialtf.Value{}, fmt.Errorf("sqlmini: column %q expects a WKT string", col.Name)
+		}
+		g, err := spatialtf.ParseWKT(lit.Str)
+		if err != nil {
+			return spatialtf.Value{}, fmt.Errorf("sqlmini: column %q: %w", col.Name, err)
+		}
+		return spatialtf.Geom(g), nil
+	default:
+		return spatialtf.Value{}, fmt.Errorf("sqlmini: cannot assign to %v column %q", col.Type, col.Name)
+	}
+}
+
+func colType(sqlType string) (spatialtf.Column, error) {
+	switch sqlType {
+	case "INT", "INTEGER", "NUMBER", "BIGINT":
+		return spatialtf.Column{Type: spatialtf.TInt64}, nil
+	case "FLOAT", "DOUBLE", "REAL":
+		return spatialtf.Column{Type: spatialtf.TFloat64}, nil
+	case "VARCHAR", "VARCHAR2", "TEXT", "STRING":
+		return spatialtf.Column{Type: spatialtf.TString}, nil
+	case "RAW", "BLOB":
+		return spatialtf.Column{Type: spatialtf.TBytes}, nil
+	case "GEOMETRY", "SDO_GEOMETRY":
+		return spatialtf.Column{Type: spatialtf.TGeometry}, nil
+	default:
+		return spatialtf.Column{}, fmt.Errorf("sqlmini: unsupported column type %q", sqlType)
+	}
+}
+
+func (e *Engine) execCreateTable(s CreateTable) (*Result, error) {
+	cols := make([]spatialtf.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		col, err := colType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		col.Name = c.Name
+		cols[i] = col
+	}
+	if _, err := e.db.CreateTable(s.Name, cols); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s created", s.Name)}, nil
+}
+
+func (e *Engine) execInsert(s Insert) (*Result, error) {
+	tab, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Inner().Schema()
+	if len(s.Values) != len(schema) {
+		return nil, fmt.Errorf("sqlmini: %d values for %d columns", len(s.Values), len(schema))
+	}
+	row := make([]spatialtf.Value, len(schema))
+	for i, col := range schema {
+		v, err := literalValue(col, s.Values[i])
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	if _, err := tab.Insert(row...); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "1 row inserted"}, nil
+}
+
+func (e *Engine) execCreateIndex(s CreateIndex) (*Result, error) {
+	var kind spatialtf.IndexKind
+	switch s.Kind {
+	case "RTREE", "RTREE_INDEX", "SPATIAL_INDEX":
+		kind = spatialtf.RTree
+	case "QUADTREE":
+		kind = spatialtf.Quadtree
+	default:
+		return nil, fmt.Errorf("sqlmini: unsupported indextype %q", s.Kind)
+	}
+	opt := spatialtf.IndexOptions{Parallel: s.Parallel}
+	if v, ok := s.Params["fanout"]; ok {
+		if _, err := fmt.Sscanf(v, "%d", &opt.Fanout); err != nil {
+			return nil, fmt.Errorf("sqlmini: bad fanout %q", v)
+		}
+	}
+	if v, ok := s.Params["level"]; ok {
+		if _, err := fmt.Sscanf(v, "%d", &opt.TilingLevel); err != nil {
+			return nil, fmt.Errorf("sqlmini: bad level %q", v)
+		}
+	}
+	if kind == spatialtf.Quadtree {
+		opt.Bounds = spatialtf.World
+		if v, ok := s.Params["bounds"]; ok {
+			if _, err := fmt.Sscanf(v, "%g,%g,%g,%g", &opt.Bounds.MinX, &opt.Bounds.MinY, &opt.Bounds.MaxX, &opt.Bounds.MaxY); err != nil {
+				return nil, fmt.Errorf("sqlmini: bad bounds %q (want minx,miny,maxx,maxy)", v)
+			}
+		}
+		if opt.TilingLevel == 0 {
+			opt.TilingLevel = 8
+		}
+	}
+	if _, err := e.db.CreateIndexOn(s.Name, s.Table, s.Column, kind, opt); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("index %s created", s.Name)}, nil
+}
+
+// indexFor finds a created index on (table, column) of the wanted kind
+// ("" = any), preferring R-trees (the join-capable kind).
+func (e *Engine) indexFor(table, column string, kind spatialtf.IndexKind) (string, error) {
+	metas, err := e.db.IndexMetadata()
+	if err != nil {
+		return "", err
+	}
+	best := ""
+	for _, m := range metas {
+		if m.TableName != table || m.ColumnName != column {
+			continue
+		}
+		if kind != "" && m.Kind != kind {
+			continue
+		}
+		if best == "" || m.Kind == spatialtf.RTree {
+			best = m.IndexName
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("sqlmini: no spatial index on %s(%s); CREATE INDEX first", table, column)
+	}
+	return best, nil
+}
+
+func (e *Engine) execSelect(s Select) (*Result, error) {
+	if s.From.Join != nil {
+		return e.execJoinSelect(s)
+	}
+	return e.execTableSelect(s)
+}
+
+func (e *Engine) execTableSelect(s Select) (*Result, error) {
+	tab, err := e.db.Table(s.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Inner().Schema()
+
+	// Resolve projected column positions.
+	var colIdx []int
+	var colNames []string
+	if s.Star || s.Count {
+		for i, c := range schema {
+			colIdx = append(colIdx, i)
+			colNames = append(colNames, c.Name)
+		}
+	} else {
+		for _, want := range s.Columns {
+			i, err := tab.Inner().ColumnIndex(want)
+			if err != nil {
+				return nil, err
+			}
+			colIdx = append(colIdx, i)
+			colNames = append(colNames, want)
+		}
+	}
+
+	ids, err := e.whereIDs(s.From.Table, tab, s.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Count {
+		return &Result{Count: len(ids), Columns: []string{"COUNT(*)"},
+			Rows: [][]string{{fmt.Sprintf("%d", len(ids))}}}, nil
+	}
+	res := &Result{Columns: colNames}
+	for _, id := range ids {
+		row, err := tab.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(colIdx))
+		for k, i := range colIdx {
+			out[k] = row[i].String()
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (e *Engine) execJoinSelect(s Select) (*Result, error) {
+	call := s.From.Join
+	if s.Where != nil {
+		return nil, fmt.Errorf("sqlmini: WHERE on a spatial_join row source is not supported")
+	}
+	idxA, err := e.indexFor(call.TableA, call.ColumnA, spatialtf.RTree)
+	if err != nil {
+		return nil, err
+	}
+	idxB, err := e.indexFor(call.TableB, call.ColumnB, spatialtf.RTree)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := e.db.SpatialJoin(call.TableA, idxA, call.TableB, idxB, spatialtf.JoinOptions{
+		Mask:     call.Mask,
+		Distance: call.Distance,
+		Parallel: call.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := cur.Collect()
+	if err != nil {
+		return nil, err
+	}
+	if s.Count {
+		return &Result{Count: len(pairs), Columns: []string{"COUNT(*)"},
+			Rows: [][]string{{fmt.Sprintf("%d", len(pairs))}}}, nil
+	}
+	// Validate projection: only rid1/rid2 (or *) exist on the join
+	// source.
+	wantCols := s.Columns
+	if s.Star || len(wantCols) == 0 {
+		wantCols = []string{"rid1", "rid2"}
+	}
+	for _, c := range wantCols {
+		if c != "rid1" && c != "rid2" {
+			return nil, fmt.Errorf("sqlmini: spatial_join exposes columns rid1, rid2; no %q", c)
+		}
+	}
+	res := &Result{Columns: wantCols}
+	for _, p := range pairs {
+		row := make([]string, len(wantCols))
+		for i, c := range wantCols {
+			if c == "rid1" {
+				row[i] = p.A.String()
+			} else {
+				row[i] = p.B.String()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders a result as an aligned text table for the REPL.
+func (r *Result) Format() string {
+	if r.Message != "" {
+		return r.Message + "\n"
+	}
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				if len(v) > 48 {
+					widths[i] = 48
+				} else {
+					widths[i] = len(v)
+				}
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, v := range cells {
+			if len(v) > 48 {
+				v = v[:45] + "..."
+			}
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}

@@ -1,0 +1,116 @@
+// Package sqlmini implements the SQL surface of the paper: a minimal
+// parser and executor for exactly the statement forms its examples use —
+// CREATE TABLE, INSERT, CREATE INDEX ... INDEXTYPE IS ... [PARALLEL n],
+// and SELECT with the sdo_relate / sdo_within_distance operators or a
+// TABLE(spatial_join(...)) row source. It drives the spatialtf facade,
+// so queries typed into cmd/spatialsql execute through the same table
+// functions the library exposes programmatically.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // '...'-quoted
+	tokPunct  // single-char punctuation: ( ) , * = .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer splits a statement into tokens. SQL keywords are case
+// insensitive; the lexer preserves original text and comparisons use
+// EqualFold.
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && isSpace(l.in[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.in[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+		l.pos++
+		for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.' || l.in[l.pos] == 'e' || l.in[l.pos] == 'E' || l.in[l.pos] == '+' || l.in[l.pos] == '-') {
+			// Stop minus/plus unless after an exponent marker.
+			if (l.in[l.pos] == '-' || l.in[l.pos] == '+') && !(l.in[l.pos-1] == 'e' || l.in[l.pos-1] == 'E') {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.in[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.in) {
+				return token{}, fmt.Errorf("sqlmini: unterminated string at offset %d", start)
+			}
+			if l.in[l.pos] == '\'' {
+				// '' is an escaped quote.
+				if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(l.in[l.pos])
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case strings.IndexByte("(),*=.", c) >= 0:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlmini: unexpected character %q at offset %d", string(c), l.pos)
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+// lexAll tokenizes the whole input.
+func lexAll(in string) ([]token, error) {
+	l := &lexer{in: in}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

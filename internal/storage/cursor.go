@@ -1,0 +1,136 @@
+package storage
+
+import "fmt"
+
+// Cursor is the pull-based row stream consumed by table functions: the
+// Go rendering of the ref-cursor arguments in the paper's SQL examples.
+// Implementations are not safe for concurrent use; parallel table
+// functions give each instance its own cursor over a disjoint partition.
+type Cursor interface {
+	// Next returns the next row. ok is false when the stream is
+	// exhausted (in which case the other results are zero values).
+	Next() (id RowID, row Row, ok bool, err error)
+	// Close releases the cursor's resources. Close is idempotent.
+	Close() error
+}
+
+// tableCursor iterates a table (or a page range of it) without holding
+// the heap lock between Next calls, so writers and other readers can
+// interleave. It observes rows inserted behind its position, matching
+// the read-committed-per-fetch behaviour of an Oracle cursor without a
+// serializable snapshot — adequate for the read-only workloads here.
+type tableCursor struct {
+	t      *Table
+	page   uint32
+	slot   int
+	toPage uint32 // exclusive; 0 means "end of table at each step"
+	closed bool
+}
+
+// NewCursor returns a cursor over all rows of t in storage order.
+func NewCursor(t *Table) Cursor {
+	return &tableCursor{t: t, page: 1, slot: 0}
+}
+
+// NewRangeCursor returns a cursor over the rows stored in heap pages
+// [fromPage, toPage).
+func NewRangeCursor(t *Table, fromPage, toPage uint32) Cursor {
+	if fromPage < 1 {
+		fromPage = 1
+	}
+	return &tableCursor{t: t, page: fromPage, slot: 0, toPage: toPage}
+}
+
+// Next advances to the next live row.
+func (c *tableCursor) Next() (RowID, Row, bool, error) {
+	if c.closed {
+		return InvalidRowID, nil, false, fmt.Errorf("storage: cursor on %q used after Close", c.t.name)
+	}
+	h := c.t.heap
+	for {
+		h.mu.RLock()
+		limit := uint32(len(h.pages))
+		if c.toPage != 0 && c.toPage < limit {
+			limit = c.toPage
+		}
+		if c.page >= limit {
+			h.mu.RUnlock()
+			return InvalidRowID, nil, false, nil
+		}
+		p := h.pages[c.page]
+		n := p.slotCount()
+		for c.slot < n {
+			slot := c.slot
+			c.slot++
+			if p.slotLen(slot) == tombstoneLen {
+				continue
+			}
+			off := p.slotOffset(slot)
+			img := make([]byte, p.slotLen(slot))
+			copy(img, p.buf[off:])
+			h.mu.RUnlock()
+			row, err := decodeRow(c.t.schema, img)
+			if err != nil {
+				return InvalidRowID, nil, false, fmt.Errorf("cursor on %q: %w", c.t.name, err)
+			}
+			return RowID{Page: c.page, Slot: uint16(slot)}, row, true, nil
+		}
+		h.mu.RUnlock()
+		c.page++
+		c.slot = 0
+	}
+}
+
+// Close marks the cursor unusable.
+func (c *tableCursor) Close() error {
+	c.closed = true
+	return nil
+}
+
+// SliceCursor adapts an in-memory row slice to the Cursor interface;
+// tests and the table-function framework use it for synthesized row
+// sources (e.g. the subtree-root streams of the parallel join).
+type SliceCursor struct {
+	IDs  []RowID
+	Rows []Row
+	pos  int
+}
+
+// NewSliceCursor returns a cursor over parallel id/row slices. ids may
+// be nil, in which case InvalidRowID is reported for every row.
+func NewSliceCursor(ids []RowID, rows []Row) *SliceCursor {
+	return &SliceCursor{IDs: ids, Rows: rows}
+}
+
+// Next returns the next slice element.
+func (c *SliceCursor) Next() (RowID, Row, bool, error) {
+	if c.pos >= len(c.Rows) {
+		return InvalidRowID, nil, false, nil
+	}
+	i := c.pos
+	c.pos++
+	id := InvalidRowID
+	if c.IDs != nil {
+		id = c.IDs[i]
+	}
+	return id, c.Rows[i], true, nil
+}
+
+// Close implements Cursor.
+func (c *SliceCursor) Close() error { return nil }
+
+// Drain reads every remaining row from c and returns them, closing c.
+func Drain(c Cursor) (ids []RowID, rows []Row, err error) {
+	defer c.Close()
+	for {
+		id, row, ok, err := c.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return ids, rows, nil
+		}
+		ids = append(ids, id)
+		rows = append(rows, row)
+	}
+}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultPageSize is the size of a regular heap page. Rows larger than
+// the page payload get a dedicated jumbo page sized to fit, the moral
+// equivalent of row chaining.
+const DefaultPageSize = 8192
+
+// page header layout (little endian):
+//
+//	offset 0: uint16 slot count
+//	offset 2: uint16 free-space pointer (offset of first free payload byte,
+//	          growing downward from the end of the page)
+//	offset 4: slot directory, 4 bytes per slot: uint16 offset, uint16 length
+//
+// Row payload grows from the end of the page toward the directory.
+// A slot with length 0xFFFF is a tombstone (deleted row).
+const (
+	pageHeaderSize = 4
+	slotEntrySize  = 4
+	tombstoneLen   = 0xFFFF
+)
+
+// page is a slotted heap page. All access is coordinated by the owning
+// Heap's lock.
+type page struct {
+	buf []byte
+}
+
+func newPage(size int) *page {
+	p := &page{buf: make([]byte, size)}
+	p.setSlotCount(0)
+	p.setFreePtr(uint16(size))
+	return p
+}
+
+func (p *page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+func (p *page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.buf[0:], uint16(n)) }
+func (p *page) freePtr() int        { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+func (p *page) setFreePtr(v uint16) { binary.LittleEndian.PutUint16(p.buf[2:], v) }
+
+func (p *page) slotOffset(i int) int {
+	return int(binary.LittleEndian.Uint16(p.buf[pageHeaderSize+i*slotEntrySize:]))
+}
+func (p *page) slotLen(i int) int {
+	return int(binary.LittleEndian.Uint16(p.buf[pageHeaderSize+i*slotEntrySize+2:]))
+}
+
+func (p *page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotEntrySize
+	binary.LittleEndian.PutUint16(p.buf[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
+}
+
+// freeSpace returns the bytes available for one more row including its
+// slot entry.
+func (p *page) freeSpace() int {
+	dirEnd := pageHeaderSize + p.slotCount()*slotEntrySize
+	free := p.freePtr() - dirEnd - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// maxRowLen is the largest row a regular page can hold.
+func maxRowLen(pageSize int) int {
+	return pageSize - pageHeaderSize - slotEntrySize
+}
+
+// insert places row in the page and returns its slot index. The caller
+// must have checked freeSpace.
+func (p *page) insert(row []byte) (int, error) {
+	if len(row) > p.freeSpace() {
+		return 0, fmt.Errorf("storage: row of %d bytes exceeds page free space %d", len(row), p.freeSpace())
+	}
+	slot := p.slotCount()
+	off := p.freePtr() - len(row)
+	copy(p.buf[off:], row)
+	p.setFreePtr(uint16(off))
+	p.setSlot(slot, off, len(row))
+	p.setSlotCount(slot + 1)
+	return slot, nil
+}
+
+// fetch returns the row bytes at slot i, aliasing the page buffer. The
+// caller must copy if it retains the bytes beyond the page lock.
+func (p *page) fetch(i int) ([]byte, error) {
+	if i >= p.slotCount() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.slotCount())
+	}
+	l := p.slotLen(i)
+	if l == tombstoneLen {
+		return nil, ErrRowDeleted
+	}
+	off := p.slotOffset(i)
+	return p.buf[off : off+l], nil
+}
+
+// delete tombstones slot i. The payload space is not reclaimed; heap
+// compaction is out of scope for this substrate (Oracle likewise leaves
+// row pieces until a segment reorganisation).
+func (p *page) delete(i int) error {
+	if i >= p.slotCount() {
+		return fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.slotCount())
+	}
+	if p.slotLen(i) == tombstoneLen {
+		return ErrRowDeleted
+	}
+	p.setSlot(i, 0, tombstoneLen)
+	return nil
+}
+
+// liveRows calls fn for each non-deleted slot.
+func (p *page) liveRows(fn func(slot int, row []byte) bool) {
+	n := p.slotCount()
+	for i := 0; i < n; i++ {
+		l := p.slotLen(i)
+		if l == tombstoneLen {
+			continue
+		}
+		off := p.slotOffset(i)
+		if !fn(i, p.buf[off:off+l]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package storage implements the relational substrate the spatial layers
+// sit on: slotted-page heap tables addressed by rowids, typed rows, and
+// iterator cursors. It is the stand-in for the Oracle kernel facilities
+// the paper's algorithms consume — fetch-by-rowid for the secondary
+// filter, full-table-scan cursors for table functions, and stable rowids
+// for join result pairs.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RowID addresses a row as (page, slot), matching the physical rowid
+// notion the paper's join results are built from. RowIDs are stable for
+// the life of the row: deletes leave tombstones and never move rows.
+type RowID struct {
+	Page uint32
+	Slot uint16
+}
+
+// InvalidRowID is the zero-like sentinel returned on errors. Page 0 is
+// never allocated to user data.
+var InvalidRowID = RowID{}
+
+// IsValid reports whether r could address a row.
+func (r RowID) IsValid() bool { return r.Page != 0 }
+
+// Less orders rowids by page then slot — physical storage order. The
+// paper sorts join candidate pairs by first rowid so exact-geometry
+// fetches sweep pages sequentially; this is the comparison it uses.
+func (r RowID) Less(o RowID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// Compare returns -1, 0 or 1 ordering r against o.
+func (r RowID) Compare(o RowID) int {
+	switch {
+	case r.Less(o):
+		return -1
+	case o.Less(r):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the rowid in AAAA.BB page.slot form for logs.
+func (r RowID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// AppendTo appends the 6-byte big-endian encoding of r to dst. Big
+// endian keeps byte order consistent with Less, so encoded rowids can be
+// used directly as B-tree key suffixes.
+func (r RowID) AppendTo(dst []byte) []byte {
+	var buf [6]byte
+	binary.BigEndian.PutUint32(buf[0:], r.Page)
+	binary.BigEndian.PutUint16(buf[4:], r.Slot)
+	return append(dst, buf[:]...)
+}
+
+// RowIDFromBytes decodes a rowid previously written by AppendTo.
+func RowIDFromBytes(b []byte) (RowID, error) {
+	if len(b) < 6 {
+		return InvalidRowID, fmt.Errorf("storage: rowid needs 6 bytes, have %d", len(b))
+	}
+	return RowID{
+		Page: binary.BigEndian.Uint32(b[0:]),
+		Slot: binary.BigEndian.Uint16(b[4:]),
+	}, nil
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialtf/internal/geom"
+)
+
+// ColType identifies a column's value domain.
+type ColType uint8
+
+// Supported column types.
+const (
+	// TInt64 is a signed 64-bit integer column.
+	TInt64 ColType = iota + 1
+	// TFloat64 is a 64-bit floating-point column.
+	TFloat64
+	// TString is a UTF-8 string column.
+	TString
+	// TBytes is a raw byte-string column.
+	TBytes
+	// TGeometry is an sdo_geometry-style spatial column.
+	TGeometry
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TInt64:
+		return "INT"
+	case TFloat64:
+		return "FLOAT"
+	case TString:
+		return "VARCHAR"
+	case TBytes:
+		return "RAW"
+	case TGeometry:
+		return "GEOMETRY"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Value is a tagged union holding one column value. Exactly the field
+// matching Type is meaningful.
+type Value struct {
+	Type ColType
+	I    int64
+	F    float64
+	S    string
+	B    []byte
+	G    geom.Geometry
+}
+
+// Int returns an int64 value.
+func Int(v int64) Value { return Value{Type: TInt64, I: v} }
+
+// Float returns a float64 value.
+func Float(v float64) Value { return Value{Type: TFloat64, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Type: TString, S: v} }
+
+// Bytes returns a raw bytes value.
+func Bytes(v []byte) Value { return Value{Type: TBytes, B: v} }
+
+// Geom returns a geometry value.
+func Geom(g geom.Geometry) Value { return Value{Type: TGeometry, G: g} }
+
+// String renders the value for logs and the CLI tools.
+func (v Value) String() string {
+	switch v.Type {
+	case TInt64:
+		return fmt.Sprintf("%d", v.I)
+	case TFloat64:
+		return fmt.Sprintf("%g", v.F)
+	case TString:
+		return v.S
+	case TBytes:
+		return fmt.Sprintf("0x%x", v.B)
+	case TGeometry:
+		return geom.MarshalWKT(v.G)
+	default:
+		return "NULL"
+	}
+}
+
+// Row is one table row: one Value per schema column.
+type Row []Value
+
+// EncodeRow returns the binary image of row under schema — the same
+// encoding heap pages store, exposed for snapshots and tools.
+func EncodeRow(schema []Column, row Row) ([]byte, error) {
+	return encodeRow(nil, schema, row)
+}
+
+// DecodeRow inverts EncodeRow.
+func DecodeRow(schema []Column, b []byte) (Row, error) {
+	return decodeRow(schema, b)
+}
+
+// encodeRow appends the binary image of row to dst. Layout per column:
+// the schema fixes the type, so only payloads are stored:
+//
+//	TInt64:    8-byte little-endian two's complement
+//	TFloat64:  8-byte IEEE bits
+//	TString:   uvarint length + bytes
+//	TBytes:    uvarint length + bytes
+//	TGeometry: uvarint length + geom binary image
+func encodeRow(dst []byte, schema []Column, row Row) ([]byte, error) {
+	if len(row) != len(schema) {
+		return nil, fmt.Errorf("storage: row has %d values, schema %d columns", len(row), len(schema))
+	}
+	for i, col := range schema {
+		v := row[i]
+		if v.Type != col.Type {
+			return nil, fmt.Errorf("storage: column %q expects %v, got %v", col.Name, col.Type, v.Type)
+		}
+		switch col.Type {
+		case TInt64:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+		case TFloat64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case TString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		case TBytes:
+			dst = binary.AppendUvarint(dst, uint64(len(v.B)))
+			dst = append(dst, v.B...)
+		case TGeometry:
+			img := geom.MarshalBinary(v.G)
+			dst = binary.AppendUvarint(dst, uint64(len(img)))
+			dst = append(dst, img...)
+		default:
+			return nil, fmt.Errorf("storage: column %q has bad type %v", col.Name, col.Type)
+		}
+	}
+	return dst, nil
+}
+
+// decodeRow parses a row image against schema.
+func decodeRow(schema []Column, b []byte) (Row, error) {
+	row := make(Row, len(schema))
+	for i, col := range schema {
+		switch col.Type {
+		case TInt64:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("storage: truncated int column %q", col.Name)
+			}
+			row[i] = Int(int64(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case TFloat64:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("storage: truncated float column %q", col.Name)
+			}
+			row[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case TString:
+			s, rest, err := decodeBlob(b, col.Name)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = Str(string(s))
+			b = rest
+		case TBytes:
+			s, rest, err := decodeBlob(b, col.Name)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]byte, len(s))
+			copy(out, s)
+			row[i] = Bytes(out)
+			b = rest
+		case TGeometry:
+			s, rest, err := decodeBlob(b, col.Name)
+			if err != nil {
+				return nil, err
+			}
+			g, err := geom.UnmarshalBinary(s)
+			if err != nil {
+				return nil, fmt.Errorf("storage: column %q: %w", col.Name, err)
+			}
+			row[i] = Geom(g)
+			b = rest
+		default:
+			return nil, fmt.Errorf("storage: column %q has bad type %v", col.Name, col.Type)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes after row", len(b))
+	}
+	return row, nil
+}
+
+func decodeBlob(b []byte, col string) (payload, rest []byte, err error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("storage: truncated length for column %q", col)
+	}
+	b = b[n:]
+	if uint64(len(b)) < l {
+		return nil, nil, fmt.Errorf("storage: truncated payload for column %q: need %d, have %d", col, l, len(b))
+	}
+	return b[:l], b[l:], nil
+}

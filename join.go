@@ -1,0 +1,233 @@
+package spatialtf
+
+import (
+	"fmt"
+	"strings"
+
+	"spatialtf/internal/geom"
+	"spatialtf/internal/sjoin"
+	"spatialtf/internal/storage"
+)
+
+// Pair is one spatial-join result: the rowids of the interacting rows
+// from the first and second table.
+type Pair = sjoin.Pair
+
+// JoinOptions tunes a spatial join.
+type JoinOptions struct {
+	// Mask is the interaction predicate name (default "anyinteract").
+	Mask string
+	// Distance, when positive, makes it a within-distance join (the
+	// paper's Table 1 "specifying a distance").
+	Distance float64
+	// Parallel is the number of parallel table-function instances; 0 or
+	// 1 runs the single pipelined spatial_join of §4, >1 the subtree-
+	// decomposed parallel join of §4.1.
+	Parallel int
+	// CandidateCap bounds the in-memory candidate array of the §4.2
+	// two-stage evaluation (0 = default).
+	CandidateCap int
+	// NoSortCandidates disables the §4.2 sort of candidates by first
+	// rowid before the secondary filter (ablation switch; the default
+	// follows the paper and sorts).
+	NoSortCandidates bool
+	// UseInteriorApprox enables the interior-approximation fast accept
+	// on ANYINTERACT joins over indexes created with
+	// IndexOptions.InteriorEffort > 0.
+	UseInteriorApprox bool
+}
+
+func (o JoinOptions) config() (sjoin.Config, error) {
+	cfg := sjoin.DefaultConfig()
+	if o.Mask != "" {
+		m, err := geom.ParseMask(o.Mask)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Mask = m
+	}
+	cfg.Distance = o.Distance
+	cfg.CandidateCap = o.CandidateCap
+	cfg.SortCandidates = !o.NoSortCandidates
+	cfg.UseInteriorApprox = o.UseInteriorApprox
+	return cfg, nil
+}
+
+// joinSource resolves (table, index) into an sjoin operand.
+func (db *DB) joinSource(table, index string) (sjoin.Source, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return sjoin.Source{}, err
+	}
+	ix, err := db.Index(index)
+	if err != nil {
+		return sjoin.Source{}, err
+	}
+	meta := ix.Meta()
+	if meta.TableName != table {
+		return sjoin.Source{}, fmt.Errorf("spatialtf: index %q is on table %q, not %q", index, meta.TableName, table)
+	}
+	tree, err := ix.rtree()
+	if err != nil {
+		return sjoin.Source{}, err
+	}
+	return sjoin.Source{Table: t.inner, Column: meta.ColumnName, Tree: tree}, nil
+}
+
+// JoinCursor streams spatial-join result pairs — the pipelined rows of
+//
+//	select rid1, rid2 from TABLE(spatial_join(...))
+type JoinCursor struct {
+	cur storage.Cursor
+}
+
+// Next returns the next result pair; ok is false at end of stream.
+func (jc *JoinCursor) Next() (p Pair, ok bool, err error) {
+	_, row, ok, err := jc.cur.Next()
+	if err != nil || !ok {
+		return Pair{}, false, err
+	}
+	p, err = sjoin.PairFromRow(row)
+	if err != nil {
+		return Pair{}, false, err
+	}
+	return p, true, nil
+}
+
+// Close releases the cursor (and cancels parallel instances).
+func (jc *JoinCursor) Close() error { return jc.cur.Close() }
+
+// Collect drains the cursor into a slice.
+func (jc *JoinCursor) Collect() ([]Pair, error) { return sjoin.CollectPairs(jc.cur) }
+
+// SpatialJoin evaluates the index-based spatial join of two R-tree-
+// indexed tables through the spatial_join table function, pipelined
+// (Parallel ≤ 1) or parallel over subtree pairs (Parallel > 1).
+func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) (*JoinCursor, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return nil, err
+	}
+	a, err := db.joinSource(tableA, indexA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := db.joinSource(tableB, indexB)
+	if err != nil {
+		return nil, err
+	}
+	var cur storage.Cursor
+	if opt.Parallel > 1 {
+		cur, err = sjoin.ParallelIndexJoin(a, b, cfg, opt.Parallel)
+	} else {
+		cur, err = sjoin.IndexJoin(a, b, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &JoinCursor{cur: cur}, nil
+}
+
+// ExplainJoin describes how a SpatialJoin with the given options would
+// execute, without running it: the strategy, the operand index shapes,
+// and — for parallel joins — the subtree decomposition (§4.1) including
+// the number of scheduled and MBR-pruned subtree-pair tasks. It is the
+// EXPLAIN PLAN of the spatial_join table function.
+func (db *DB) ExplainJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) (string, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return "", err
+	}
+	a, err := db.joinSource(tableA, indexA)
+	if err != nil {
+		return "", err
+	}
+	b, err := db.joinSource(tableB, indexB)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	pred := fmt.Sprintf("mask=%s", cfg.Mask)
+	if cfg.Distance > 0 {
+		pred = fmt.Sprintf("distance=%g", cfg.Distance)
+	}
+	fmt.Fprintf(&sb, "SPATIAL JOIN (%s)\n", pred)
+	fmt.Fprintf(&sb, "  operand A: table %s via index %s (R-tree: %d items, height %d, fanout %d)\n",
+		tableA, indexA, a.Tree.Len(), a.Tree.Height(), a.Tree.MaxEntries())
+	fmt.Fprintf(&sb, "  operand B: table %s via index %s (R-tree: %d items, height %d, fanout %d)\n",
+		tableB, indexB, b.Tree.Len(), b.Tree.Height(), b.Tree.MaxEntries())
+	fmt.Fprintf(&sb, "  two-stage evaluation: candidate array cap %d, secondary filter fetch order %s\n",
+		cfg.CandidateCap, map[bool]string{true: "sorted by first rowid", false: "arrival order"}[cfg.SortCandidates])
+	if cfg.UseInteriorApprox {
+		sb.WriteString("  interior-approximation fast accept: enabled\n")
+	}
+	if opt.Parallel > 1 {
+		pairs := sjoin.SubtreePairsForWorkers(a.Tree, b.Tree, opt.Parallel, cfg)
+		descend := 0
+		if len(pairs) > 0 {
+			descend = a.Tree.Height() - pairs[0].A.Level()
+		}
+		total := len(a.Tree.SubtreeRoots(descend)) * len(b.Tree.SubtreeRoots(descend))
+		fmt.Fprintf(&sb, "  strategy: PARALLEL pipelined table function, %d instances\n", opt.Parallel)
+		fmt.Fprintf(&sb, "  subtree decomposition: descend %d level(s); %d subtree-pair tasks scheduled, %d pruned as disjoint\n",
+			descend, len(pairs), total-len(pairs))
+	} else {
+		sb.WriteString("  strategy: SERIAL pipelined table function (single root pair)\n")
+	}
+	return sb.String(), nil
+}
+
+// NestedLoopJoin evaluates the same join with the pre-9i baseline
+// strategy (per-row index probes), the comparison point of Tables 1-2.
+func (db *DB) NestedLoopJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) ([]Pair, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return nil, err
+	}
+	a, err := db.joinSource(tableA, indexA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := db.joinSource(tableB, indexB)
+	if err != nil {
+		return nil, err
+	}
+	return sjoin.NestedLoop(a, b, cfg)
+}
+
+// QuadtreeJoin evaluates a join over two Quadtree-indexed tables with
+// the tile merge join (extension; intersection-style masks only).
+func (db *DB) QuadtreeJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) ([]Pair, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return nil, err
+	}
+	srcOf := func(table, index string) (sjoin.QSource, error) {
+		t, err := db.Table(table)
+		if err != nil {
+			return sjoin.QSource{}, err
+		}
+		ix, err := db.Index(index)
+		if err != nil {
+			return sjoin.QSource{}, err
+		}
+		meta := ix.Meta()
+		if meta.TableName != table {
+			return sjoin.QSource{}, fmt.Errorf("spatialtf: index %q is on table %q, not %q", index, meta.TableName, table)
+		}
+		qi, err := ix.qindex()
+		if err != nil {
+			return sjoin.QSource{}, err
+		}
+		return sjoin.QSource{Table: t.inner, Column: meta.ColumnName, Index: qi}, nil
+	}
+	a, err := srcOf(tableA, indexA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := srcOf(tableB, indexB)
+	if err != nil {
+		return nil, err
+	}
+	return sjoin.QuadtreeJoin(a, b, cfg)
+}

@@ -1,0 +1,252 @@
+package spatialtf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"spatialtf/internal/storage"
+)
+
+// Database snapshots: Save writes every table (live rows) and the
+// spatial-index catalogue to a stream; Restore rebuilds a database from
+// it, recreating indexes with their original parameters. This is the
+// export/import durability model (like exp/imp), not a physical
+// datafile copy: rowids are NOT stable across Save/Restore — rows are
+// reinserted in storage order and indexes are rebuilt.
+
+// snapshot format (little endian):
+//
+//	magic "STFSNAP1"
+//	uvarint table count
+//	per table: string name; uvarint ncols; per column (string name,
+//	  byte type); uvarint row count; per row (uvarint len, bytes)
+//	uvarint index count
+//	per index: strings name/table/column/kind; uvarints fanout,
+//	  tilingLevel, interiorEffort, parallelHint; 4 × float64 bounds
+const snapshotMagic = "STFSNAP1"
+
+// Save serialises the database. Tables are written in name order so
+// snapshots of equal databases are byte-identical.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	db.mu.RUnlock()
+	sort.Strings(names)
+
+	writeUvarint(bw, uint64(len(names)))
+	for _, name := range names {
+		t, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		inner := t.Inner()
+		writeString(bw, name)
+		schema := inner.Schema()
+		writeUvarint(bw, uint64(len(schema)))
+		for _, c := range schema {
+			writeString(bw, c.Name)
+			bw.WriteByte(byte(c.Type))
+		}
+		writeUvarint(bw, uint64(inner.Len()))
+		var encodeErr error
+		scanErr := inner.Scan(func(_ RowID, row Row) bool {
+			img, err := storage.EncodeRow(schema, row)
+			if err != nil {
+				encodeErr = err
+				return false
+			}
+			writeUvarint(bw, uint64(len(img)))
+			bw.Write(img)
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		if encodeErr != nil {
+			return encodeErr
+		}
+	}
+
+	metas, err := db.IndexMetadata()
+	if err != nil {
+		return err
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].IndexName < metas[j].IndexName })
+	writeUvarint(bw, uint64(len(metas)))
+	for _, m := range metas {
+		writeString(bw, m.IndexName)
+		writeString(bw, m.TableName)
+		writeString(bw, m.ColumnName)
+		writeString(bw, string(m.Kind))
+		writeUvarint(bw, uint64(m.Fanout))
+		writeUvarint(bw, uint64(m.TilingLevel))
+		writeUvarint(bw, uint64(m.InteriorEffort))
+		var fbuf [8]byte
+		for _, f := range []float64{m.Bounds.MinX, m.Bounds.MinY, m.Bounds.MaxX, m.Bounds.MaxY} {
+			binary.LittleEndian.PutUint64(fbuf[:], uint64FromFloat(f))
+			bw.Write(fbuf[:])
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore reads a snapshot and returns a new database with the tables
+// loaded and every index recreated (rebuilt with `parallel` workers;
+// 0 = sequential).
+func Restore(r io.Reader, parallel int) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("spatialtf: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("spatialtf: bad snapshot magic %q", magic)
+	}
+	db := Open()
+
+	tableCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("spatialtf: snapshot table count: %w", err)
+	}
+	for ti := uint64(0); ti < tableCount; ti++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		ncols, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		schema := make([]Column, ncols)
+		for i := range schema {
+			cn, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			tb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			schema[i] = Column{Name: cn, Type: storage.ColType(tb)}
+		}
+		tab, err := db.CreateTable(name, schema)
+		if err != nil {
+			return nil, fmt.Errorf("spatialtf: restore table %q: %w", name, err)
+		}
+		rowCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for ri := uint64(0); ri < rowCount; ri++ {
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			img := make([]byte, l)
+			if _, err := io.ReadFull(br, img); err != nil {
+				return nil, err
+			}
+			row, err := storage.DecodeRow(schema, img)
+			if err != nil {
+				return nil, fmt.Errorf("spatialtf: restore %q row %d: %w", name, ri, err)
+			}
+			if _, err := tab.Insert(row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	idxCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("spatialtf: snapshot index count: %w", err)
+	}
+	for ii := uint64(0); ii < idxCount; ii++ {
+		var fields [4]string
+		for i := range fields {
+			s, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = s
+		}
+		fanout, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		level, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		effort, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		var bounds MBR
+		for _, dst := range []*float64{&bounds.MinX, &bounds.MinY, &bounds.MaxX, &bounds.MaxY} {
+			var fbuf [8]byte
+			if _, err := io.ReadFull(br, fbuf[:]); err != nil {
+				return nil, err
+			}
+			*dst = floatFromUint64(binary.LittleEndian.Uint64(fbuf[:]))
+		}
+		opt := IndexOptions{
+			Fanout:         int(fanout),
+			TilingLevel:    int(level),
+			InteriorEffort: int(effort),
+			Parallel:       parallel,
+		}
+		if IndexKind(fields[3]) == Quadtree {
+			opt.Bounds = bounds
+		}
+		if _, err := db.CreateIndexOn(fields[0], fields[1], fields[2], IndexKind(fields[3]), opt); err != nil {
+			return nil, fmt.Errorf("spatialtf: restore index %q: %w", fields[0], err)
+		}
+	}
+	// Trailing garbage is an error: snapshots are exact.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("spatialtf: trailing bytes after snapshot")
+	}
+	return db, nil
+}
+
+// --- little helpers ---
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	l, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if l > 1<<20 {
+		return "", fmt.Errorf("spatialtf: snapshot string of %d bytes", l)
+	}
+	b := make([]byte, l)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+func floatFromUint64(u uint64) float64 { return math.Float64frombits(u) }

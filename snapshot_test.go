@@ -1,0 +1,151 @@
+package spatialtf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSnapshotDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if _, err := db.LoadDataset("counties", Counties(64, 501)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("counties_idx", "counties", RTree,
+		IndexOptions{Fanout: 16, InteriorEffort: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("counties_qt", "counties", Quadtree,
+		IndexOptions{TilingLevel: 6, Bounds: World}); err != nil {
+		t.Fatal(err)
+	}
+	misc, err := db.CreateTable("misc", []Column{
+		{Name: "k", Type: TInt64},
+		{Name: "v", Type: TString},
+		{Name: "b", Type: TBytes},
+		{Name: "f", Type: TFloat64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := misc.Insert(Int(1), Str("one"), Bytes([]byte{1, 2}), Float(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := buildSnapshotDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tables and row counts survive.
+	for _, name := range []string{"counties", "misc"} {
+		orig, _ := db.Table(name)
+		got, err := restored.Table(name)
+		if err != nil {
+			t.Fatalf("restored table %q: %v", name, err)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("table %q: %d rows, want %d", name, got.Len(), orig.Len())
+		}
+	}
+	// Index catalogue survives with parameters.
+	metas, err := restored.IndexMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Metadata{}
+	for _, m := range metas {
+		byName[m.IndexName] = m
+	}
+	if m := byName["counties_idx"]; m.Kind != RTree || m.Fanout != 16 || m.InteriorEffort != 2 {
+		t.Fatalf("rtree metadata lost: %+v", m)
+	}
+	if m := byName["counties_qt"]; m.Kind != Quadtree || m.TilingLevel != 6 || m.Bounds != World {
+		t.Fatalf("quadtree metadata lost: %+v", m)
+	}
+	// Queries agree between original and restored databases.
+	window := MustRect(100, 100, 400, 400)
+	origHits, err := db.Relate("counties", "counties_idx", window, "anyinteract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHits, err := restored.Relate("counties", "counties_idx", window, "anyinteract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotHits) != len(origHits) {
+		t.Fatalf("restored query: %d hits, want %d", len(gotHits), len(origHits))
+	}
+	// Joins agree too.
+	c1, err := db.SpatialJoin("counties", "counties_idx", "counties", "counties_idx", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c1.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := restored.SpatialJoin("counties", "counties_idx", "counties", "counties_idx", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("restored join: %d pairs, want %d", len(p2), len(p1))
+	}
+	// The misc row content survives.
+	misc, _ := restored.Table("misc")
+	var row Row
+	misc.Scan(func(_ RowID, r Row) bool { row = r; return false })
+	if row[0].I != 1 || row[1].S != "one" || string(row[2].B) != "\x01\x02" || row[3].F != 1.5 {
+		t.Fatalf("misc row corrupted: %v", row)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	db := buildSnapshotDB(t)
+	var a, b bytes.Buffer
+	if err := db.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots of the same database differ")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	if _, err := Restore(strings.NewReader(""), 0); err == nil {
+		t.Errorf("empty input accepted")
+	}
+	if _, err := Restore(strings.NewReader("NOTASNAP"), 0); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	// Truncated snapshot.
+	db := buildSnapshotDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), 0); err == nil {
+		t.Errorf("truncated snapshot accepted")
+	}
+	// Trailing garbage.
+	garbage := append(buf.Bytes(), 0xFF)
+	if _, err := Restore(bytes.NewReader(garbage), 0); err == nil {
+		t.Errorf("trailing garbage accepted")
+	}
+}

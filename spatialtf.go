@@ -1,0 +1,220 @@
+// Package spatialtf is a from-scratch Go reproduction of the system in
+// "Spatial Processing using Oracle Table Functions" (Kothuri, Ravada,
+// Xu; ICDE 2003): an Oracle-Spatial-style spatial database engine whose
+// expensive operations — R-tree spatial joins and spatial index creation
+// — are implemented with parallel and pipelined table functions.
+//
+// The public API mirrors the SQL surface of the paper:
+//
+//	db := spatialtf.Open()
+//	cities, _ := db.CreateSpatialTable("cities")
+//	cities.Add("springfield", spatialtf.MustRect(10, 10, 12, 12))
+//	idx, _ := db.CreateIndex("cities_idx", "cities", spatialtf.RTree, spatialtf.IndexOptions{})
+//	// SELECT rowid FROM cities WHERE sdo_relate(geom, :q, 'anyinteract')
+//	hits, _ := db.Relate("cities", "cities_idx", q, "anyinteract")
+//	// SELECT rid1, rid2 FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract'))
+//	cur, _ := db.SpatialJoin("cities", "cities_idx", "rivers", "rivers_idx", spatialtf.JoinOptions{})
+//
+// Everything underneath — the geometry engine, slotted-page storage,
+// B-tree, R-tree, linear quadtree, extensible-indexing framework, and
+// the table-function runtime — is implemented in this module's internal
+// packages with only the Go standard library.
+package spatialtf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spatialtf/internal/extidx"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+// Re-exported geometry types and helpers, so callers need only this
+// package for everyday use.
+type (
+	// Geometry is the sdo_geometry equivalent: point, line string,
+	// polygon with holes, or a multi of those.
+	Geometry = geom.Geometry
+	// Point is a 2-D coordinate.
+	Point = geom.Point
+	// MBR is a minimum bounding rectangle.
+	MBR = geom.MBR
+	// RowID addresses a stored row.
+	RowID = storage.RowID
+	// Row is a typed table row.
+	Row = storage.Row
+	// Value is one column value.
+	Value = storage.Value
+	// Column declares a table column.
+	Column = storage.Column
+)
+
+// Re-exported constructors and codecs.
+var (
+	// NewPoint builds a point geometry.
+	NewPoint = geom.NewPoint
+	// NewLineString builds a polyline geometry.
+	NewLineString = geom.NewLineString
+	// NewPolygon builds a polygon (outer ring + holes).
+	NewPolygon = geom.NewPolygon
+	// NewRect builds an axis-aligned rectangle polygon.
+	NewRect = geom.NewRect
+	// ParseWKT parses Well-Known Text.
+	ParseWKT = geom.ParseWKT
+	// MarshalWKT renders Well-Known Text.
+	MarshalWKT = geom.MarshalWKT
+	// Int, Float, Str, Bytes, Geom build column values.
+	Int   = storage.Int
+	Float = storage.Float
+	Str   = storage.Str
+	Bytes = storage.Bytes
+	Geom  = storage.Geom
+)
+
+// Column type codes for CreateTable.
+const (
+	TInt64    = storage.TInt64
+	TFloat64  = storage.TFloat64
+	TString   = storage.TString
+	TBytes    = storage.TBytes
+	TGeometry = storage.TGeometry
+)
+
+// IndexKind selects an indextype.
+type IndexKind = extidx.IndexKind
+
+// The two spatial indextypes.
+const (
+	RTree    = extidx.KindRTree
+	Quadtree = extidx.KindQuadtree
+)
+
+// MustRect is NewRect that panics on invalid input; intended for
+// literals in examples and tests.
+func MustRect(minX, minY, maxX, maxY float64) Geometry {
+	g, err := geom.NewRect(minX, minY, maxX, maxY)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DB is an embedded spatial database: named tables plus the extensible-
+// indexing registry holding their spatial indexes.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	reg    *extidx.Registry
+}
+
+// Open returns an empty database with the RTREE and QUADTREE indextypes
+// registered.
+func Open() *DB {
+	reg := extidx.NewRegistry()
+	extidx.RegisterDefaultKinds(reg)
+	return &DB{tables: make(map[string]*Table), reg: reg}
+}
+
+// Table is a handle on a database table.
+type Table struct {
+	db    *DB
+	inner *storage.Table
+}
+
+// Errors returned by the facade.
+var (
+	ErrNoTable = errors.New("spatialtf: no such table")
+)
+
+// CreateTable creates a table with an arbitrary schema.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	inner, err := storage.NewTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, inner: inner}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("spatialtf: table %q already exists", name)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// CreateSpatialTable creates a table with the conventional spatial
+// schema (id INT, name VARCHAR, geom GEOMETRY) used by the examples and
+// benchmarks.
+func (db *DB) CreateSpatialTable(name string) (*Table, error) {
+	return db.CreateTable(name, []Column{
+		{Name: "id", Type: TInt64},
+		{Name: "name", Type: TString},
+		{Name: "geom", Type: TGeometry},
+	})
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.inner.Name() }
+
+// Len returns the live row count.
+func (t *Table) Len() int { return t.inner.Len() }
+
+// Insert stores a row matching the table schema.
+func (t *Table) Insert(vals ...Value) (RowID, error) {
+	return t.inner.Insert(Row(vals))
+}
+
+// Add inserts into a CreateSpatialTable-style table: the id column is
+// the current row count, the name and geometry are as given.
+func (t *Table) Add(name string, g Geometry) (RowID, error) {
+	return t.inner.Insert(Row{Int(int64(t.inner.Len())), Str(name), Geom(g)})
+}
+
+// Fetch returns the row at id.
+func (t *Table) Fetch(id RowID) (Row, error) { return t.inner.Fetch(id) }
+
+// Geometry returns the geometry stored in the given column of row id.
+func (t *Table) Geometry(id RowID, column string) (Geometry, error) {
+	col, err := t.inner.ColumnIndex(column)
+	if err != nil {
+		return Geometry{}, err
+	}
+	v, err := t.inner.FetchColumn(id, col)
+	if err != nil {
+		return Geometry{}, err
+	}
+	if v.Type != TGeometry {
+		return Geometry{}, fmt.Errorf("spatialtf: column %q is not a geometry", column)
+	}
+	return v.G, nil
+}
+
+// Delete removes the row at id (spatial indexes are maintained
+// automatically).
+func (t *Table) Delete(id RowID) error { return t.inner.Delete(id) }
+
+// Update replaces the row at id, returning its new rowid. Spatial
+// indexes are maintained automatically (they observe a delete followed
+// by an insert).
+func (t *Table) Update(id RowID, vals ...Value) (RowID, error) {
+	return t.inner.Update(id, Row(vals))
+}
+
+// Scan iterates all rows in storage order.
+func (t *Table) Scan(fn func(id RowID, row Row) bool) error { return t.inner.Scan(fn) }
+
+// Inner exposes the storage-level table for advanced integrations.
+func (t *Table) Inner() *storage.Table { return t.inner }

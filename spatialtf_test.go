@@ -1,0 +1,312 @@
+package spatialtf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	db := Open()
+	cities, err := db.CreateSpatialTable("cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := cities.Add("alpha", MustRect(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cities.Add("beta", MustRect(20, 20, 30, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("cities_idx", "cities", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := db.Relate("cities", "cities_idx", MustRect(5, 5, 8, 8), "inside")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		// The query window is INSIDE alpha; Relate(tabGeom, q, inside)
+		// asks whether the table geometry is inside the window, which it
+		// is not.
+		t.Fatalf("inside hits = %v", hits)
+	}
+	hits, err = db.Relate("cities", "cities_idx", MustRect(5, 5, 8, 8), "contains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != idA {
+		t.Fatalf("contains hits = %v, want [%v]", hits, idA)
+	}
+	hits, err = db.WithinDistance("cities", "cities_idx", NewPoint(12, 5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != idA {
+		t.Fatalf("within-distance hits = %v", hits)
+	}
+	// Geometry accessor.
+	g, err := cities.Geometry(idA, "geom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(MustRect(0, 0, 10, 10)) {
+		t.Fatalf("Geometry returned %v", g)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.Table("missing"); err == nil {
+		t.Errorf("missing table: want error")
+	}
+	if _, err := db.Index("missing"); err == nil {
+		t.Errorf("missing index: want error")
+	}
+	if _, err := db.CreateSpatialTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateSpatialTable("t"); err == nil {
+		t.Errorf("duplicate table: want error")
+	}
+	if _, err := db.Relate("t", "noidx", MustRect(0, 0, 1, 1), "anyinteract"); err == nil {
+		t.Errorf("missing index in Relate: want error")
+	}
+	if _, err := db.CreateIndex("i", "t", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Relate("t", "i", MustRect(0, 0, 1, 1), "bogusmask"); err == nil {
+		t.Errorf("bad mask: want error")
+	}
+	// Join across mismatched table/index pairs fails.
+	if _, err := db.CreateSpatialTable("u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SpatialJoin("u", "i", "t", "i", JoinOptions{}); err == nil {
+		t.Errorf("index on wrong table: want error")
+	}
+}
+
+func TestFacadeSpatialJoinMatchesNestedLoop(t *testing.T) {
+	db := Open()
+	ds := Counties(64, 101)
+	if _, err := db.LoadDataset("counties", ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("counties_idx", "counties", RTree, IndexOptions{Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := db.NestedLoopJoin("counties", "counties_idx", "counties", "counties_idx", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.SpatialJoin("counties", "counties_idx", "counties", "counties_idx", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ij, err := cur.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcur, err := db.SpatialJoin("counties", "counties_idx", "counties", "counties_idx", JoinOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := pcur.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl) == 0 || len(nl) != len(ij) || len(ij) != len(pj) {
+		t.Fatalf("result sizes differ: nl=%d ij=%d pj=%d", len(nl), len(ij), len(pj))
+	}
+	set := map[Pair]bool{}
+	for _, p := range nl {
+		set[p] = true
+	}
+	for _, p := range append(ij, pj...) {
+		if !set[p] {
+			t.Fatalf("pair %v not in nested-loop result", p)
+		}
+	}
+}
+
+func TestFacadeJoinCursorStreams(t *testing.T) {
+	db := Open()
+	if _, err := db.LoadDataset("stars", Stars(300, 103)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("si", "stars", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.SpatialJoin("stars", "si", "stars", "si", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	cur.Close()
+	if n < 300 {
+		t.Fatalf("self-join streamed %d pairs, want >= row count", n)
+	}
+}
+
+func TestFacadeQuadtreeJoin(t *testing.T) {
+	db := Open()
+	ds := Counties(36, 107)
+	if _, err := db.LoadDataset("c", ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("c_rt", "c", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("c_qt", "c", Quadtree, IndexOptions{TilingLevel: 6, Bounds: World}); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := db.NestedLoopJoin("c", "c_rt", "c", "c_rt", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := db.QuadtreeJoin("c", "c_qt", "c", "c_qt", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != len(qt) {
+		t.Fatalf("rtree join %d pairs, quadtree join %d", len(rt), len(qt))
+	}
+	// Joining an R-tree-indexed operand with QuadtreeJoin fails cleanly.
+	if _, err := db.QuadtreeJoin("c", "c_rt", "c", "c_qt", JoinOptions{}); err == nil {
+		t.Errorf("quadtree join over rtree index: want error")
+	}
+}
+
+func TestFacadeNearest(t *testing.T) {
+	db := Open()
+	cities, err := db.CreateSpatialTable("cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]RowID{}
+	for name, g := range map[string]Geometry{
+		"near":    MustRect(10, 10, 11, 11),
+		"mid":     MustRect(20, 20, 21, 21),
+		"far":     MustRect(50, 50, 51, 51),
+		"farther": MustRect(90, 90, 91, 91),
+	} {
+		id, err := cities.Add(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	if _, err := db.CreateIndex("ci", "cities", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	nbs, err := db.Nearest("cities", "ci", NewPoint(9, 9), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 3 {
+		t.Fatalf("Nearest returned %d", len(nbs))
+	}
+	if nbs[0].ID != ids["near"] || nbs[1].ID != ids["mid"] || nbs[2].ID != ids["far"] {
+		t.Fatalf("wrong ranking: %+v (ids %v)", nbs, ids)
+	}
+	for i := 1; i < len(nbs); i++ {
+		if nbs[i-1].Dist > nbs[i].Dist {
+			t.Fatalf("distances out of order: %+v", nbs)
+		}
+	}
+}
+
+func TestFacadeIndexMetadata(t *testing.T) {
+	db := Open()
+	if _, err := db.LoadDataset("c", Counties(16, 109)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("c_rt", "c", RTree, IndexOptions{Fanout: 8}); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := db.IndexMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].IndexName != "c_rt" || metas[0].Fanout != 8 || metas[0].RowsIndexed != 16 {
+		t.Fatalf("metadata = %+v", metas)
+	}
+}
+
+func TestExplainJoin(t *testing.T) {
+	db := Open()
+	if _, err := db.LoadDataset("stars", Stars(2000, 601)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("si", "stars", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.ExplainJoin("stars", "si", "stars", "si", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SPATIAL JOIN (mask=ANYINTERACT)", "SERIAL pipelined", "sorted by first rowid", "2000 items"} {
+		if !containsStr(plan, want) {
+			t.Errorf("serial plan missing %q:\n%s", want, plan)
+		}
+	}
+	plan, err = db.ExplainJoin("stars", "si", "stars", "si", JoinOptions{Parallel: 4, Distance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"distance=2", "PARALLEL pipelined table function, 4 instances", "subtree-pair tasks scheduled"} {
+		if !containsStr(plan, want) {
+			t.Errorf("parallel plan missing %q:\n%s", want, plan)
+		}
+	}
+	if _, err := db.ExplainJoin("stars", "nope", "stars", "si", JoinOptions{}); err == nil {
+		t.Errorf("bad index accepted")
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && strings.Contains(haystack, needle)
+}
+
+func TestFacadeDMLMaintainsIndex(t *testing.T) {
+	db := Open()
+	tab, err := db.CreateSpatialTable("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("live_idx", "live", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := tab.Add("row", MustRect(1, 1, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := db.Relate("live", "live_idx", MustRect(0, 0, 3, 3), "anyinteract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != id {
+		t.Fatalf("post-insert hits = %v", hits)
+	}
+	if err := tab.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	hits, err = db.Relate("live", "live_idx", MustRect(0, 0, 3, 3), "anyinteract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("post-delete hits = %v", hits)
+	}
+}
