@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is the full gate: formatting, vet,
+# build, and the complete test suite under the race detector.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench bench-wire
+
+ci: fmt-check vet build race
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Wire-protocol streaming throughput (loopback server + client).
+bench-wire:
+	$(GO) test -run NONE -bench BenchmarkWireJoinStream -benchmem .

@@ -1,0 +1,198 @@
+// Command spatialserverd is the networked query server daemon: it loads
+// a database snapshot (or synthesizes datasets), serves the wire
+// protocol over TCP, and persists the database back to the snapshot on
+// SIGTERM/SIGINT after draining in-flight cursors.
+//
+// Usage:
+//
+//	spatialserverd -addr 127.0.0.1:7878 -snapshot db.snap
+//	spatialserverd -load counties:2000:1 -load stars:10000:2 -index rtree
+//
+// Connect with:
+//
+//	spatialsql -connect 127.0.0.1:7878
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"spatialtf"
+	"spatialtf/internal/server"
+)
+
+type loadList []string
+
+func (l *loadList) String() string     { return strings.Join(*l, ",") }
+func (l *loadList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7878", "listen address")
+		snapshot     = flag.String("snapshot", "", "snapshot file: restored at start if present, saved on shutdown")
+		index        = flag.String("index", "rtree", "index kind built on -load tables (rtree|quadtree|none)")
+		parallel     = flag.Int("parallel", 0, "parallel workers for restore/index builds")
+		maxConns     = flag.Int("max-conns", 64, "concurrent connection limit")
+		maxCursors   = flag.Int("max-cursors", 8, "open cursor limit per connection")
+		batch        = flag.Int("batch", 256, "default fetch batch size (rows)")
+		maxBatch     = flag.Int("max-batch", 4096, "largest fetch batch a client may request")
+		maxRows      = flag.Int64("max-rows", 0, "per-query row limit (0 = unlimited)")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query time limit (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain limit")
+		loads        loadList
+	)
+	flag.Var(&loads, "load", "dataset to load at start, as name:n[:seed] (repeatable; counties, stars or blockgroups)")
+	flag.Parse()
+	log.SetPrefix("spatialserverd: ")
+	log.SetFlags(log.LstdFlags)
+
+	db, err := openDB(*snapshot, *parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range loads {
+		if err := loadDataset(db, spec, *index, *parallel); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConns:          *maxConns,
+		MaxCursorsPerConn: *maxCursors,
+		DefaultBatch:      *batch,
+		MaxBatch:          *maxBatch,
+		MaxRowsPerQuery:   *maxRows,
+		QueryTimeout:      *queryTimeout,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		log.Printf("received %s; draining connections (limit %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+		}
+		if *snapshot != "" {
+			if err := saveSnapshot(db, *snapshot); err != nil {
+				log.Printf("snapshot save failed: %v", err)
+			} else {
+				log.Printf("database saved to %s", *snapshot)
+			}
+		}
+	}()
+
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	s := srv.Stats().Snapshot()
+	log.Printf("served %d queries, %d rows streamed over %d fetches, %d connections",
+		s.Queries, s.RowsStreamed, s.Fetches, s.ConnsAccepted)
+}
+
+// openDB restores the snapshot if it exists, otherwise opens an empty
+// database.
+func openDB(path string, parallel int) (*spatialtf.DB, error) {
+	if path == "" {
+		return spatialtf.Open(), nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		log.Printf("snapshot %s not found; starting empty", path)
+		return spatialtf.Open(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := spatialtf.Restore(f, parallel)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", path, err)
+	}
+	log.Printf("database restored from %s", path)
+	return db, nil
+}
+
+// saveSnapshot writes the database atomically (temp file + rename).
+func saveSnapshot(db *spatialtf.DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = db.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadDataset parses name:n[:seed] and loads it, indexing the geometry
+// column per kind.
+func loadDataset(db *spatialtf.DB, spec, kind string, parallel int) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("bad -load %q (want name:n[:seed])", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad -load count %q", parts[1])
+	}
+	seed := int64(1)
+	if len(parts) == 3 {
+		seed, err = strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -load seed %q", parts[2])
+		}
+	}
+	var ds spatialtf.Dataset
+	switch parts[0] {
+	case "counties":
+		ds = spatialtf.Counties(n, seed)
+	case "stars":
+		ds = spatialtf.Stars(n, seed)
+	case "blockgroups":
+		ds = spatialtf.BlockGroups(n, seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", parts[0])
+	}
+	t0 := time.Now()
+	if _, err := db.LoadDataset(parts[0], ds); err != nil {
+		return err
+	}
+	opt := spatialtf.IndexOptions{Parallel: parallel}
+	switch kind {
+	case "rtree":
+		_, err = db.CreateIndex(parts[0]+"_idx", parts[0], spatialtf.RTree, opt)
+	case "quadtree":
+		opt.Bounds = spatialtf.World
+		opt.TilingLevel = 8
+		_, err = db.CreateIndex(parts[0]+"_idx", parts[0], spatialtf.Quadtree, opt)
+	case "none":
+	default:
+		return fmt.Errorf("unknown -index kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("loaded %s (%d rows, index=%s) in %s", parts[0], n, kind, time.Since(t0).Round(time.Millisecond))
+	return nil
+}

@@ -11,10 +11,18 @@
 // and fills a table from a synthetic dataset; \tables lists tables from
 // the index metadata; \q quits. Statements may span lines and end with
 // a semicolon. A file of statements can be piped on stdin.
+//
+// With -connect host:port the shell runs against a remote spatialserverd
+// instead of an embedded database: statements travel over the wire
+// protocol and SELECT row sources stream back in fetch batches (printed
+// incrementally), so a huge join never materialises on either side.
+// Remote meta commands: \stats prints server statistics; \batch <n>
+// sets the fetch batch size; \q quits.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -23,9 +31,19 @@ import (
 
 	"spatialtf"
 	"spatialtf/internal/sqlmini"
+	"spatialtf/internal/wire"
 )
 
 func main() {
+	connect := flag.String("connect", "", "run against a remote server at host:port instead of an embedded database")
+	flag.Parse()
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	eng := sqlmini.NewEngine()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -176,6 +194,151 @@ func meta(eng *sqlmini.Engine, cmd string) bool {
 		fmt.Printf("loaded %d rows into table %s in %s\n", n, fields[1], time.Since(t0).Round(time.Millisecond))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
+	}
+	return true
+}
+
+// remoteShell runs the REPL against a spatialserverd at addr.
+func remoteShell(addr string) error {
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	interactive := isatty()
+	if interactive {
+		fmt.Printf("spatialtf SQL shell — connected to %s; \\q to quit, \\stats for server stats\n", addr)
+	}
+	batch := 0 // 0 = server default
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !remoteMeta(cli, trimmed, &batch) {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmtText := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if stmtText != "" {
+				runRemoteStatement(cli, stmtText, batch)
+			}
+		}
+		prompt()
+	}
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		runRemoteStatement(cli, rest, batch)
+	}
+	return nil
+}
+
+// runRemoteStatement executes one statement over the wire, streaming
+// cursor batches to stdout as they arrive.
+func runRemoteStatement(cli *wire.Client, sql string, batch int) {
+	t0 := time.Now()
+	res, err := cli.Query(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if res.Cursor == nil {
+		fmt.Print(res.Format())
+		fmt.Printf("elapsed: %s\n", time.Since(t0).Round(time.Microsecond))
+		return
+	}
+	cur := res.Cursor
+	defer cur.Close()
+	cols := cur.Columns()
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Print(c.Name)
+	}
+	fmt.Println()
+	n := 0
+	for {
+		rows, done, err := cur.Fetch(batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		for _, row := range rows {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				s := v.String()
+				if len(s) > 48 {
+					s = s[:45] + "..."
+				}
+				fmt.Print(s)
+			}
+			fmt.Println()
+			n++
+		}
+		if done {
+			break
+		}
+	}
+	fmt.Printf("(%d rows)\nelapsed: %s\n", n, time.Since(t0).Round(time.Microsecond))
+}
+
+// remoteMeta handles backslash commands in connect mode; returns false
+// to quit.
+func remoteMeta(cli *wire.Client, cmd string, batch *int) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\stats":
+		s, err := cli.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		fmt.Printf("connections: %d active / %d accepted / %d rejected\n",
+			s.ConnsActive, s.ConnsAccepted, s.ConnsRejected)
+		fmt.Printf("cursors:     %d open / %d opened\n", s.CursorsOpen, s.CursorsOpened)
+		fmt.Printf("queries:     %d (%d errors)\n", s.Queries, s.Errors)
+		mean := time.Duration(0)
+		if s.Fetches > 0 {
+			mean = time.Duration(s.FetchNanos / s.Fetches)
+		}
+		fmt.Printf("streaming:   %d rows over %d fetches (mean fetch %s)\n",
+			s.RowsStreamed, s.Fetches, mean.Round(time.Microsecond))
+	case "\\batch":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\batch <rows> (0 = server default)")
+			return true
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad batch size %q\n", fields[1])
+			return true
+		}
+		*batch = n
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (remote mode supports \\q, \\stats, \\batch)\n", fields[0])
 	}
 	return true
 }

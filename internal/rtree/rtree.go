@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"spatialtf/internal/geom"
 	"spatialtf/internal/storage"
@@ -60,9 +61,10 @@ func (n *node) mbr() geom.MBR {
 
 // Tree is an R-tree. Readers (queries, joins, subtree enumeration) may
 // run concurrently; writers are exclusive. NodeRef handles obtained from
-// Root or SubtreeRoots are snapshots only in the absence of concurrent
-// writes — the join workloads in this library build indexes fully before
-// querying them, matching the paper's experimental setup.
+// Root or SubtreeRoots are only valid while the tree is not being
+// modified; long-lived traversals (streaming join cursors) must hold a
+// Pin for their lifetime, which blocks writers without excluding other
+// readers.
 type Tree struct {
 	mu         sync.RWMutex
 	root       *node
@@ -70,7 +72,20 @@ type Tree struct {
 	size       int
 	maxEntries int
 	minEntries int
+
+	// pinMu gates structural writes against long-lived NodeRef readers.
+	// It is deliberately separate from mu: pinned code paths call the
+	// RLock-taking accessors (Root, SubtreeRoots, Len, ...) and nesting
+	// RLock acquisitions on one RWMutex can deadlock when a writer is
+	// queued between them.
+	pinMu sync.RWMutex
+	// seq is a process-unique creation number; callers pinning several
+	// trees acquire pins in seq order to avoid lock-order inversions.
+	seq uint64
 }
+
+// treeSeq numbers trees as they are constructed.
+var treeSeq atomic.Uint64
 
 // New returns an empty tree with the given maximum node fanout
 // (0 selects DefaultMaxEntries). Minimum occupancy is 40 % of maximum,
@@ -91,8 +106,23 @@ func New(maxEntries int) *Tree {
 		height:     1,
 		maxEntries: maxEntries,
 		minEntries: minEntries,
+		seq:        treeSeq.Add(1),
 	}
 }
+
+// Seq returns the tree's process-unique creation number, the canonical
+// pin-acquisition order for multi-tree operations.
+func (t *Tree) Seq() uint64 { return t.seq }
+
+// Pin blocks structural modification of the tree until Unpin, without
+// excluding other readers. Cursors that traverse NodeRefs across many
+// fetch calls (the pipelined spatial join) pin the operand trees for the
+// cursor's lifetime so concurrent DML waits instead of racing the
+// traversal.
+func (t *Tree) Pin() { t.pinMu.RLock() }
+
+// Unpin releases a Pin.
+func (t *Tree) Unpin() { t.pinMu.RUnlock() }
 
 // Len returns the number of indexed items.
 func (t *Tree) Len() int {
@@ -123,6 +153,8 @@ func (t *Tree) Insert(item Item) error {
 	if !item.MBR.Valid() {
 		return fmt.Errorf("rtree: insert %v: invalid MBR %v", item.ID, item.MBR)
 	}
+	t.pinMu.Lock()
+	defer t.pinMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.insertAtLevel(entry{mbr: item.MBR, interior: item.Interior, id: item.ID}, 1)
@@ -282,6 +314,8 @@ func pickSeeds(entries []entry) (int, int) {
 // item.MBR. It implements Guttman's CondenseTree: underflowing nodes are
 // dissolved and their data entries reinserted.
 func (t *Tree) Delete(item Item) error {
+	t.pinMu.Lock()
+	defer t.pinMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	leaf, idx := t.findLeaf(t.root, item)

@@ -1,0 +1,412 @@
+// Package server implements the networked query server: a TCP front
+// end that parses each statement with sqlmini, executes it against a
+// shared spatialtf database, and streams SELECT row sources to remote
+// clients through the same start–fetch–close cursor pipeline local
+// consumers use. Results flow in bounded fetch batches pulled by the
+// client, so the server never materialises a full result set; a join
+// bigger than memory streams just as it does in-process (PAPER §4).
+//
+// The server enforces a connection limit, per-connection cursor limit,
+// and per-query row and time limits, and drains in-flight cursors on
+// graceful shutdown.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialtf"
+	"spatialtf/internal/sqlmini"
+	"spatialtf/internal/storage"
+	"spatialtf/internal/wire"
+)
+
+// Config tunes a Server. Zero values select the defaults.
+type Config struct {
+	// MaxConns bounds concurrent client connections (default 64).
+	MaxConns int
+	// MaxCursorsPerConn bounds open cursors per connection (default 8).
+	MaxCursorsPerConn int
+	// DefaultBatch is the fetch batch size when a client asks for 0
+	// rows (default 256).
+	DefaultBatch int
+	// MaxBatch caps the batch size a client may request (default 4096).
+	MaxBatch int
+	// MaxRowsPerQuery aborts a cursor after streaming this many rows
+	// (0 = unlimited).
+	MaxRowsPerQuery int64
+	// QueryTimeout aborts a cursor this long after its query started
+	// (0 = no limit). An aborted cursor reports an error on the next
+	// fetch.
+	QueryTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.MaxCursorsPerConn <= 0 {
+		c.MaxCursorsPerConn = 8
+	}
+	if c.DefaultBatch <= 0 {
+		c.DefaultBatch = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	return c
+}
+
+// Server serves the wire protocol over a shared database.
+type Server struct {
+	db    *spatialtf.DB
+	cfg   Config
+	stats Stats
+
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[*conn]struct{}
+	inShutdown atomic.Bool
+}
+
+// New returns a server over db.
+func New(db *spatialtf.DB, cfg Config) *Server {
+	return &Server{db: db, cfg: cfg.withDefaults(), conns: make(map[*conn]struct{})}
+}
+
+// Stats returns the server's live counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener
+// error). Each connection runs on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.inShutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if s.inShutdown.Load() {
+			nc.Close()
+			continue
+		}
+		s.stats.ConnsAccepted.Add(1)
+		if int(s.stats.ConnsActive.Load()) >= s.cfg.MaxConns {
+			s.stats.ConnsRejected.Add(1)
+			go rejectConn(nc)
+			continue
+		}
+		c := &conn{srv: s, nc: nc}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.stats.ConnsActive.Add(1)
+		go c.serve()
+	}
+}
+
+// rejectConn completes the handshake so the client can read a proper
+// error frame, then closes.
+func rejectConn(nc net.Conn) {
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	bw := bufio.NewWriter(nc)
+	if err := wire.WriteMagic(bw); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	if err := wire.ExpectMagic(nc); err != nil {
+		return
+	}
+	wire.WriteFrame(bw, wire.FrameError, wire.AppendError(nil, "connection limit reached"))
+	bw.Flush()
+}
+
+// Shutdown gracefully stops the server: the listener closes, new
+// queries are rejected, and connections drain — a connection with open
+// cursors keeps serving fetches until its cursors are exhausted or
+// closed; idle connections close immediately. When ctx expires,
+// remaining connections are closed forcibly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			if c.cursorCount.Load() == 0 {
+				// Kick idle readers; their next Read fails and the
+				// handler exits cleanly.
+				c.nc.SetReadDeadline(time.Now())
+			}
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for c := range s.conns {
+				c.nc.Close()
+			}
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// serverCursor is the per-cursor state: the engine's pull cursor plus
+// the enforcement bookkeeping.
+type serverCursor struct {
+	id       uint64
+	schema   []storage.Column
+	cur      storage.Cursor
+	streamed int64
+	deadline time.Time // zero = no limit
+}
+
+// conn handles one client connection. The protocol is strict
+// request/response, so a single goroutine owns the connection and no
+// locking is needed beyond the shared Server state.
+type conn struct {
+	srv         *Server
+	nc          net.Conn
+	eng         *sqlmini.Engine
+	cursors     map[uint64]*serverCursor
+	nextCursor  uint64
+	cursorCount atomic.Int64
+}
+
+func (c *conn) serve() {
+	defer func() {
+		for _, sc := range c.cursors {
+			sc.cur.Close()
+			c.srv.stats.CursorsOpen.Add(-1)
+		}
+		c.cursorCount.Store(0)
+		c.nc.Close()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+		c.srv.stats.ConnsActive.Add(-1)
+	}()
+	c.eng = sqlmini.NewEngineOn(c.srv.db)
+	c.cursors = make(map[uint64]*serverCursor)
+	bw := bufio.NewWriter(c.nc)
+	br := bufio.NewReader(c.nc)
+	if err := wire.WriteMagic(bw); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	if err := wire.ExpectMagic(br); err != nil {
+		return
+	}
+	for {
+		t, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// EOF, client close, or a shutdown kick.
+			return
+		}
+		var reply func() error
+		switch t {
+		case wire.FrameQuery:
+			reply = c.handleQuery(bw, payload)
+		case wire.FrameFetch:
+			reply = c.handleFetch(bw, payload)
+		case wire.FrameCloseCursor:
+			reply = c.handleClose(bw, payload)
+		case wire.FrameStats:
+			reply = func() error {
+				return wire.WriteFrame(bw, wire.FrameStatsReply,
+					wire.AppendStats(nil, c.srv.stats.Snapshot()))
+			}
+		default:
+			reply = c.sendError(bw, fmt.Sprintf("unknown frame type 0x%02x", byte(t)))
+		}
+		if err := reply(); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if c.srv.inShutdown.Load() && c.cursorCount.Load() == 0 {
+			// Drained: this connection has nothing left to serve.
+			return
+		}
+	}
+}
+
+func (c *conn) handleQuery(bw *bufio.Writer, payload []byte) func() error {
+	sql, err := wire.ParseQuery(payload)
+	if err != nil {
+		return c.sendError(bw, err.Error())
+	}
+	if c.srv.inShutdown.Load() {
+		return c.sendError(bw, "server is shutting down")
+	}
+	c.srv.stats.Queries.Add(1)
+	stream, err := c.eng.ExecuteStream(sql)
+	if err != nil {
+		return c.sendError(bw, err.Error())
+	}
+	if stream.Result != nil {
+		r := stream.Result
+		return func() error {
+			return wire.WriteFrame(bw, wire.FrameResult, wire.AppendResult(nil, wire.Result{
+				Message:  r.Message,
+				HasCount: len(r.Columns) == 1 && r.Columns[0] == "COUNT(*)",
+				Count:    int64(r.Count),
+				Columns:  r.Columns,
+				Rows:     r.Rows,
+			}))
+		}
+	}
+	if len(c.cursors) >= c.srv.cfg.MaxCursorsPerConn {
+		stream.Cursor.Close()
+		return c.sendError(bw, fmt.Sprintf("cursor limit reached (%d per connection)", c.srv.cfg.MaxCursorsPerConn))
+	}
+	c.nextCursor++
+	sc := &serverCursor{id: c.nextCursor, schema: stream.Schema, cur: stream.Cursor}
+	if c.srv.cfg.QueryTimeout > 0 {
+		sc.deadline = time.Now().Add(c.srv.cfg.QueryTimeout)
+	}
+	c.cursors[sc.id] = sc
+	c.cursorCount.Add(1)
+	c.srv.stats.CursorsOpened.Add(1)
+	c.srv.stats.CursorsOpen.Add(1)
+	return func() error {
+		return wire.WriteFrame(bw, wire.FrameDescribe, wire.AppendDescribe(nil, sc.id, sc.schema))
+	}
+}
+
+func (c *conn) handleFetch(bw *bufio.Writer, payload []byte) func() error {
+	id, maxRows, err := wire.ParseFetch(payload)
+	if err != nil {
+		return c.sendError(bw, err.Error())
+	}
+	sc, ok := c.cursors[id]
+	if !ok {
+		return c.sendError(bw, fmt.Sprintf("no such cursor %d", id))
+	}
+	if !sc.deadline.IsZero() && time.Now().After(sc.deadline) {
+		c.dropCursor(sc)
+		return c.sendError(bw, fmt.Sprintf("query timeout after %s", c.srv.cfg.QueryTimeout))
+	}
+	batch := int(maxRows)
+	if batch <= 0 {
+		batch = c.srv.cfg.DefaultBatch
+	}
+	if batch > c.srv.cfg.MaxBatch {
+		batch = c.srv.cfg.MaxBatch
+	}
+	start := time.Now()
+	rows := make([]storage.Row, 0, batch)
+	done := false
+	for len(rows) < batch {
+		_, row, ok, err := sc.cur.Next()
+		if err != nil {
+			c.dropCursor(sc)
+			return c.sendError(bw, err.Error())
+		}
+		if !ok {
+			done = true
+			break
+		}
+		rows = append(rows, row)
+	}
+	sc.streamed += int64(len(rows))
+	if limit := c.srv.cfg.MaxRowsPerQuery; limit > 0 && sc.streamed > limit {
+		c.dropCursor(sc)
+		return c.sendError(bw, fmt.Sprintf("query row limit exceeded (%d rows)", limit))
+	}
+	c.srv.stats.Fetches.Add(1)
+	c.srv.stats.FetchNanos.Add(time.Since(start).Nanoseconds())
+	c.srv.stats.RowsStreamed.Add(int64(len(rows)))
+	img, err := wire.AppendBatch(nil, sc.id, done, sc.schema, rows)
+	if err != nil {
+		c.dropCursor(sc)
+		return c.sendError(bw, err.Error())
+	}
+	if done {
+		c.dropCursor(sc)
+	}
+	return func() error {
+		return wire.WriteFrame(bw, wire.FrameBatch, img)
+	}
+}
+
+func (c *conn) handleClose(bw *bufio.Writer, payload []byte) func() error {
+	id, err := wire.ParseCloseCursor(payload)
+	if err != nil {
+		return c.sendError(bw, err.Error())
+	}
+	if sc, ok := c.cursors[id]; ok {
+		c.dropCursor(sc)
+	}
+	// Idempotent: closing an unknown (already-drained) cursor is fine.
+	return func() error {
+		return wire.WriteFrame(bw, wire.FrameResult,
+			wire.AppendResult(nil, wire.Result{Message: "cursor closed"}))
+	}
+}
+
+// dropCursor closes and forgets a cursor.
+func (c *conn) dropCursor(sc *serverCursor) {
+	sc.cur.Close()
+	delete(c.cursors, sc.id)
+	c.cursorCount.Add(-1)
+	c.srv.stats.CursorsOpen.Add(-1)
+}
+
+// sendError builds a reply that reports msg.
+func (c *conn) sendError(bw *bufio.Writer, msg string) func() error {
+	c.srv.stats.Errors.Add(1)
+	return func() error {
+		return wire.WriteFrame(bw, wire.FrameError, wire.AppendError(nil, msg))
+	}
+}

@@ -1,0 +1,546 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialtf"
+	"spatialtf/internal/wire"
+)
+
+// newTestDB loads a counties table with an R-tree index, the operand
+// every test query runs against.
+func newTestDB(t testing.TB, rows int) *spatialtf.DB {
+	t.Helper()
+	db := spatialtf.Open()
+	if _, err := db.LoadDataset("counties", spatialtf.Counties(rows, 701)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("counties_idx", "counties", spatialtf.RTree,
+		spatialtf.IndexOptions{Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// startTestServer serves cfg over a loopback listener and returns the
+// server plus its address. The server shuts down with the test.
+func startTestServer(t testing.TB, db *spatialtf.DB, cfg Config) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, cfg)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-errc; err != nil && err != ErrServerClosed {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+const joinSQL = "SELECT rid1, rid2 FROM TABLE(spatial_join('counties','geom','counties','geom','anyinteract', 0))"
+
+// TestServerEndToEnd is the acceptance scenario: 8 concurrent clients
+// over loopback, each alternating streamed spatial_join fetches with
+// sdo_relate point queries, under -race.
+func TestServerEndToEnd(t *testing.T) {
+	db := newTestDB(t, 96)
+	// The expected join cardinality, computed locally.
+	cur, err := db.SpatialJoin("counties", "counties_idx", "counties", "counties_idx", spatialtf.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := cur.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := len(pairs)
+
+	srv, addr := startTestServer(t, db, Config{DefaultBatch: 16, MaxBatch: 64})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := wire.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for round := 0; round < 3; round++ {
+				// Streamed join, fetched in small batches.
+				res, err := cli.Query(joinSQL)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				if res.Cursor == nil {
+					errs <- fmt.Errorf("client %d: join did not stream", i)
+					return
+				}
+				n := 0
+				for {
+					rows, done, err := res.Cursor.Fetch(16)
+					if err != nil {
+						errs <- fmt.Errorf("client %d fetch: %w", i, err)
+						return
+					}
+					n += len(rows)
+					if done {
+						break
+					}
+				}
+				if n != wantPairs {
+					errs <- fmt.Errorf("client %d: join streamed %d pairs, want %d", i, n, wantPairs)
+					return
+				}
+				// Window query while other clients stream joins.
+				res, err = cli.Query("SELECT name FROM counties WHERE sdo_relate(geom, 'POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))', 'mask=anyinteract') = 'TRUE'")
+				if err != nil {
+					errs <- fmt.Errorf("client %d relate: %w", i, err)
+					return
+				}
+				if res.Cursor == nil {
+					errs <- fmt.Errorf("client %d: relate did not stream", i)
+					return
+				}
+				names := 0
+				for {
+					row, ok, err := res.Cursor.Next()
+					if err != nil {
+						errs <- fmt.Errorf("client %d relate next: %w", i, err)
+						return
+					}
+					if !ok {
+						break
+					}
+					if row[0].S == "" {
+						errs <- fmt.Errorf("client %d: empty name", i)
+						return
+					}
+					names++
+				}
+				if names == 0 {
+					errs <- fmt.Errorf("client %d: world window matched nothing", i)
+					return
+				}
+				// COUNT comes back as an immediate result, not a cursor.
+				res, err = cli.Query("SELECT count(*) FROM counties")
+				if err != nil {
+					errs <- fmt.Errorf("client %d count: %w", i, err)
+					return
+				}
+				if res.Cursor != nil || !res.HasCount || res.Count != 96 {
+					errs <- fmt.Errorf("client %d: count = %+v", i, res)
+					return
+				}
+			}
+			// Stats over the same connection.
+			if _, err := cli.Stats(); err != nil {
+				errs <- fmt.Errorf("client %d stats: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := srv.Stats().Snapshot()
+	if s.ConnsAccepted != clients || s.CursorsOpen != 0 {
+		t.Errorf("stats after drain: %+v", s)
+	}
+	if want := int64(clients * 3 * wantPairs); s.RowsStreamed < want {
+		t.Errorf("rows streamed %d, want >= %d join rows", s.RowsStreamed, want)
+	}
+}
+
+// TestServerBoundedStreaming proves the server never materialises a
+// result: a join far larger than one batch streams one bounded batch at
+// a time, and rows are only produced as the client pulls them.
+func TestServerBoundedStreaming(t *testing.T) {
+	db := newTestDB(t, 256)
+	srv, addr := startTestServer(t, db, Config{DefaultBatch: 32, MaxBatch: 32})
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Query(joinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cursor == nil {
+		t.Fatal("join did not stream")
+	}
+	// First pull: asking for far more than MaxBatch still yields at most
+	// MaxBatch rows, and the server has produced only that many.
+	rows, done, err := res.Cursor.Fetch(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("256-county self-join fit in one 32-row batch")
+	}
+	if len(rows) != 32 {
+		t.Fatalf("first batch %d rows, want the 32-row cap", len(rows))
+	}
+	if s := srv.Stats().Snapshot(); s.RowsStreamed != 32 {
+		t.Fatalf("server produced %d rows before the second pull; streaming is not lazy", s.RowsStreamed)
+	}
+	// Drain the rest and check the total against a local join.
+	total := len(rows)
+	for !done {
+		rows, done, err = res.Cursor.Fetch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) > 32 {
+			t.Fatalf("batch of %d rows exceeds cap", len(rows))
+		}
+		total += len(rows)
+	}
+	cur, err := db.SpatialJoin("counties", "counties_idx", "counties", "counties_idx", spatialtf.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := cur.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(pairs) {
+		t.Fatalf("streamed %d pairs, local join has %d", total, len(pairs))
+	}
+	if s := srv.Stats().Snapshot(); s.CursorsOpen != 0 {
+		t.Fatalf("cursor not released after drain: %+v", s)
+	}
+}
+
+func TestServerConnectionLimit(t *testing.T) {
+	db := newTestDB(t, 8)
+	_, addr := startTestServer(t, db, Config{MaxConns: 1})
+	first, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// Prove the first connection works before occupying the slot check.
+	if _, err := first.Query("SELECT count(*) FROM counties"); err != nil {
+		t.Fatal(err)
+	}
+	second, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial should succeed (rejection is in-protocol): %v", err)
+	}
+	defer second.Close()
+	_, err = second.Query("SELECT count(*) FROM counties")
+	if err == nil || !strings.Contains(err.Error(), "connection limit") {
+		t.Fatalf("second connection error = %v, want connection limit", err)
+	}
+	// Closing the first connection frees the slot.
+	first.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		third, err := wire.Dial(addr)
+		if err == nil {
+			_, err = third.Query("SELECT count(*) FROM counties")
+			third.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerCursorLimit(t *testing.T) {
+	db := newTestDB(t, 32)
+	_, addr := startTestServer(t, db, Config{MaxCursorsPerConn: 2})
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var open []*wire.Cursor
+	for i := 0; i < 2; i++ {
+		res, err := cli.Query(joinSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		open = append(open, res.Cursor)
+	}
+	_, err = cli.Query(joinSQL)
+	if err == nil || !strings.Contains(err.Error(), "cursor limit") {
+		t.Fatalf("third cursor error = %v, want cursor limit", err)
+	}
+	// Closing one frees a slot.
+	if err := open[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.Query(joinSQL)
+	if err != nil {
+		t.Fatalf("after close: %v", err)
+	}
+	res.Cursor.Close()
+	open[1].Close()
+}
+
+func TestServerRowLimit(t *testing.T) {
+	db := newTestDB(t, 128)
+	_, addr := startTestServer(t, db, Config{MaxRowsPerQuery: 50, DefaultBatch: 20})
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Query(joinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetchErr error
+	for i := 0; i < 100; i++ {
+		_, done, err := res.Cursor.Fetch(0)
+		if err != nil {
+			fetchErr = err
+			break
+		}
+		if done {
+			break
+		}
+	}
+	if fetchErr == nil || !strings.Contains(fetchErr.Error(), "row limit") {
+		t.Fatalf("fetch error = %v, want row limit", fetchErr)
+	}
+	// The aborted cursor is gone server-side; a fresh query still works.
+	res, err = cli.Query("SELECT count(*) FROM counties")
+	if err != nil || res.Count != 128 {
+		t.Fatalf("connection unusable after row limit: %+v, %v", res, err)
+	}
+}
+
+func TestServerQueryTimeout(t *testing.T) {
+	db := newTestDB(t, 64)
+	_, addr := startTestServer(t, db, Config{QueryTimeout: 30 * time.Millisecond})
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Query(joinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Cursor.Fetch(1); err != nil {
+		t.Fatalf("fetch before deadline: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	_, _, err = res.Cursor.Fetch(1)
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("fetch after deadline = %v, want timeout", err)
+	}
+}
+
+func TestServerErrorsKeepConnectionUsable(t *testing.T) {
+	db := newTestDB(t, 8)
+	_, addr := startTestServer(t, db, Config{})
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Query("SELEK nonsense"); err == nil {
+		t.Errorf("parse error not reported")
+	}
+	if _, err := cli.Query("SELECT name FROM missing"); err == nil {
+		t.Errorf("missing table not reported")
+	}
+	res, err := cli.Query("SELECT count(*) FROM counties")
+	if err != nil || res.Count != 8 {
+		t.Fatalf("connection unusable after errors: %+v, %v", res, err)
+	}
+}
+
+// TestServerDDLOverWire drives the full statement surface remotely:
+// create, insert, index, query, delete.
+func TestServerDDLOverWire(t *testing.T) {
+	db := spatialtf.Open()
+	_, addr := startTestServer(t, db, Config{})
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	stmts := []string{
+		"CREATE TABLE cities (id INT, name VARCHAR, geom GEOMETRY)",
+		"INSERT INTO cities VALUES (1, 'springfield', 'POLYGON ((10 10, 14 10, 14 14, 10 14, 10 10))')",
+		"INSERT INTO cities VALUES (2, 'shelbyville', 'POLYGON ((30 30, 34 30, 34 34, 30 34, 30 30))')",
+		"CREATE INDEX cities_idx ON cities(geom) INDEXTYPE IS RTREE",
+	}
+	for _, s := range stmts {
+		if _, err := cli.Query(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	res, err := cli.Query("SELECT name FROM cities WHERE sdo_relate(geom, 'POINT (12 12)', 'mask=contains') = 'TRUE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, done, err := res.Cursor.Fetch(0)
+	if err != nil || !done || len(rows) != 1 || rows[0][0].S != "springfield" {
+		t.Fatalf("relate rows = %v done=%v err=%v", rows, done, err)
+	}
+}
+
+// TestServerGracefulShutdown: a connection with an open cursor keeps
+// draining it through Shutdown, while new queries are refused.
+func TestServerGracefulShutdown(t *testing.T) {
+	db := newTestDB(t, 96)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{DefaultBatch: 8})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	cli, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Query(joinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Cursor.Fetch(0); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Give Shutdown time to close the listener and flag shutdown.
+	deadline := time.Now().Add(2 * time.Second)
+	for !srv.inShutdown.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown flag never set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// New queries on the draining connection are refused...
+	if _, err := cli.Query("SELECT count(*) FROM counties"); err == nil ||
+		!strings.Contains(err.Error(), "shutting down") {
+		t.Fatalf("query during shutdown = %v, want shutting down", err)
+	}
+	// ...but the open cursor still drains to completion.
+	n := 0
+	for {
+		rows, done, err := res.Cursor.Fetch(0)
+		if err != nil {
+			t.Fatalf("drain during shutdown: %v", err)
+		}
+		n += len(rows)
+		if done {
+			break
+		}
+	}
+	if n == 0 {
+		t.Fatal("no rows drained during shutdown")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if err := <-serveErr; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// New connections are refused outright.
+	if _, err := wire.Dial(ln.Addr().String()); err == nil {
+		t.Errorf("dial after shutdown succeeded")
+	}
+}
+
+// TestServerConcurrentQueriesAndDML streams joins from several clients
+// while the database takes inserts underneath, under -race: fetches see
+// a consistent pinned snapshot per cursor and nothing crashes.
+func TestServerConcurrentQueriesAndDML(t *testing.T) {
+	db := newTestDB(t, 64)
+	tab, err := db.Table("counties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startTestServer(t, db, Config{DefaultBatch: 16})
+	stop := make(chan struct{})
+	var writerWg sync.WaitGroup
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := spatialtf.MustRect(float64(i%900), float64(i%900), float64(i%900+5), float64(i%900+5))
+			if _, err := tab.Add(fmt.Sprintf("live-%d", i), g); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := wire.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for round := 0; round < 5; round++ {
+				res, err := cli.Query(joinSQL)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				for {
+					_, done, err := res.Cursor.Fetch(0)
+					if err != nil {
+						t.Errorf("fetch: %v", err)
+						return
+					}
+					if done {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writerWg.Wait()
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"spatialtf/internal/wire"
+)
+
+// Stats counts server activity with lock-free atomics; the wire Stats
+// frame ships a Snapshot of it. One Stats lives per Server.
+type Stats struct {
+	ConnsAccepted atomic.Int64
+	ConnsRejected atomic.Int64
+	ConnsActive   atomic.Int64
+	CursorsOpened atomic.Int64
+	CursorsOpen   atomic.Int64
+	Queries       atomic.Int64
+	Errors        atomic.Int64
+	RowsStreamed  atomic.Int64
+	Fetches       atomic.Int64
+	FetchNanos    atomic.Int64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy for
+// reporting.
+func (s *Stats) Snapshot() wire.Stats {
+	return wire.Stats{
+		ConnsAccepted: s.ConnsAccepted.Load(),
+		ConnsRejected: s.ConnsRejected.Load(),
+		ConnsActive:   s.ConnsActive.Load(),
+		CursorsOpened: s.CursorsOpened.Load(),
+		CursorsOpen:   s.CursorsOpen.Load(),
+		Queries:       s.Queries.Load(),
+		Errors:        s.Errors.Load(),
+		RowsStreamed:  s.RowsStreamed.Load(),
+		Fetches:       s.Fetches.Load(),
+		FetchNanos:    s.FetchNanos.Load(),
+	}
+}

@@ -41,6 +41,11 @@ func (e *Engine) Execute(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.execStatement(stmt)
+}
+
+// execStatement runs one parsed statement, materialising the result.
+func (e *Engine) execStatement(stmt Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case CreateTable:
 		return e.execCreateTable(s)
@@ -391,13 +396,30 @@ func (e *Engine) execJoinSelect(s Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Count {
+		// Drain without materialising: counting needs the full stream
+		// but never the pairs themselves.
+		n := 0
+		for {
+			_, ok, err := cur.Next()
+			if err != nil {
+				cur.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if err := cur.Close(); err != nil {
+			return nil, err
+		}
+		return &Result{Count: n, Columns: []string{"COUNT(*)"},
+			Rows: [][]string{{fmt.Sprintf("%d", n)}}}, nil
+	}
 	pairs, err := cur.Collect()
 	if err != nil {
 		return nil, err
-	}
-	if s.Count {
-		return &Result{Count: len(pairs), Columns: []string{"COUNT(*)"},
-			Rows: [][]string{{fmt.Sprintf("%d", len(pairs))}}}, nil
 	}
 	// Validate projection: only rid1/rid2 (or *) exist on the join
 	// source.

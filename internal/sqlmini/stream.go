@@ -1,0 +1,207 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"spatialtf"
+	"spatialtf/internal/storage"
+)
+
+// Stream is the cursor form of a statement result, the unit the query
+// server ships over the wire: SELECT row sources come back as a typed
+// schema plus a pull cursor (so a spatial_join larger than memory
+// streams batch by batch, exactly like the local table-function
+// pipeline), while DDL/DML/COUNT outcomes come back as an immediate
+// Result.
+type Stream struct {
+	// Schema and Cursor are set for streaming SELECTs. The caller owns
+	// the cursor and must Close it (an open join cursor pins its operand
+	// indexes against DML).
+	Schema []storage.Column
+	Cursor storage.Cursor
+	// Result is set for immediate outcomes (CREATE/INSERT/DELETE/
+	// UPDATE/COUNT); Cursor is nil then.
+	Result *Result
+}
+
+// ExecuteStream parses and runs one statement, streaming SELECT row
+// sources instead of materialising them.
+func (e *Engine) ExecuteStream(sql string) (*Stream, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := stmt.(Select); ok && !s.Count {
+		if s.From.Join != nil {
+			return e.streamJoinSelect(s)
+		}
+		return e.streamTableSelect(s)
+	}
+	res, err := e.execStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{Result: res}, nil
+}
+
+// streamTableSelect builds a cursor over a base-table SELECT. A plain
+// scan streams straight off the heap; a spatial predicate resolves the
+// matching rowids through the index first (bounded by the result's id
+// count, not its row payload) and fetches rows lazily.
+func (e *Engine) streamTableSelect(s Select) (*Stream, error) {
+	tab, err := e.db.Table(s.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Inner().Schema()
+	var colIdx []int
+	var outSchema []storage.Column
+	if s.Star {
+		for i, c := range schema {
+			colIdx = append(colIdx, i)
+			outSchema = append(outSchema, c)
+		}
+	} else {
+		for _, want := range s.Columns {
+			i, err := tab.Inner().ColumnIndex(want)
+			if err != nil {
+				return nil, err
+			}
+			colIdx = append(colIdx, i)
+			outSchema = append(outSchema, schema[i])
+		}
+	}
+	if s.Where == nil {
+		return &Stream{
+			Schema: outSchema,
+			Cursor: &projectCursor{in: storage.NewCursor(tab.Inner()), cols: colIdx},
+		}, nil
+	}
+	ids, err := e.whereIDs(s.From.Table, tab, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		Schema: outSchema,
+		Cursor: &fetchCursor{tab: tab, ids: ids, cols: colIdx},
+	}, nil
+}
+
+// streamJoinSelect builds a cursor over TABLE(spatial_join(...)). The
+// rid1/rid2 rowids are projected as their page.slot text form, matching
+// the local REPL rendering.
+func (e *Engine) streamJoinSelect(s Select) (*Stream, error) {
+	call := s.From.Join
+	if s.Where != nil {
+		return nil, fmt.Errorf("sqlmini: WHERE on a spatial_join row source is not supported")
+	}
+	wantCols := s.Columns
+	if s.Star || len(wantCols) == 0 {
+		wantCols = []string{"rid1", "rid2"}
+	}
+	for _, c := range wantCols {
+		if c != "rid1" && c != "rid2" {
+			return nil, fmt.Errorf("sqlmini: spatial_join exposes columns rid1, rid2; no %q", c)
+		}
+	}
+	idxA, err := e.indexFor(call.TableA, call.ColumnA, spatialtf.RTree)
+	if err != nil {
+		return nil, err
+	}
+	idxB, err := e.indexFor(call.TableB, call.ColumnB, spatialtf.RTree)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := e.db.SpatialJoin(call.TableA, idxA, call.TableB, idxB, spatialtf.JoinOptions{
+		Mask:     call.Mask,
+		Distance: call.Distance,
+		Parallel: call.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	outSchema := make([]storage.Column, len(wantCols))
+	for i, c := range wantCols {
+		outSchema[i] = storage.Column{Name: c, Type: storage.TString}
+	}
+	return &Stream{
+		Schema: outSchema,
+		Cursor: &joinCursorAdapter{jc: cur, cols: wantCols},
+	}, nil
+}
+
+// projectCursor narrows a row cursor to the projected columns.
+type projectCursor struct {
+	in   storage.Cursor
+	cols []int
+}
+
+func (c *projectCursor) Next() (storage.RowID, storage.Row, bool, error) {
+	id, row, ok, err := c.in.Next()
+	if err != nil || !ok {
+		return id, nil, ok, err
+	}
+	out := make(storage.Row, len(c.cols))
+	for k, i := range c.cols {
+		out[k] = row[i]
+	}
+	return id, out, true, nil
+}
+
+func (c *projectCursor) Close() error { return c.in.Close() }
+
+// fetchCursor lazily fetches and projects the rows of a resolved rowid
+// list (the output of a spatial WHERE predicate).
+type fetchCursor struct {
+	tab  *spatialtf.Table
+	ids  []spatialtf.RowID
+	cols []int
+	pos  int
+}
+
+func (c *fetchCursor) Next() (storage.RowID, storage.Row, bool, error) {
+	if c.pos >= len(c.ids) {
+		return storage.InvalidRowID, nil, false, nil
+	}
+	id := c.ids[c.pos]
+	c.pos++
+	row, err := c.tab.Fetch(id)
+	if err != nil {
+		return storage.InvalidRowID, nil, false, err
+	}
+	out := make(storage.Row, len(c.cols))
+	for k, i := range c.cols {
+		out[k] = row[i]
+	}
+	return id, out, true, nil
+}
+
+func (c *fetchCursor) Close() error {
+	c.pos = len(c.ids)
+	return nil
+}
+
+// joinCursorAdapter renders a spatial-join pair stream as rows of the
+// projected rid columns.
+type joinCursorAdapter struct {
+	jc   *spatialtf.JoinCursor
+	cols []string
+}
+
+func (c *joinCursorAdapter) Next() (storage.RowID, storage.Row, bool, error) {
+	p, ok, err := c.jc.Next()
+	if err != nil || !ok {
+		return storage.InvalidRowID, nil, false, err
+	}
+	out := make(storage.Row, len(c.cols))
+	for i, col := range c.cols {
+		if col == "rid1" {
+			out[i] = storage.Str(p.A.String())
+		} else {
+			out[i] = storage.Str(p.B.String())
+		}
+	}
+	return storage.InvalidRowID, out, true, nil
+}
+
+func (c *joinCursorAdapter) Close() error { return c.jc.Close() }

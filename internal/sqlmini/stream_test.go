@@ -1,0 +1,126 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"spatialtf/internal/storage"
+)
+
+func streamEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	stmts := []string{
+		"CREATE TABLE cities (id INT, name VARCHAR, geom GEOMETRY)",
+		"INSERT INTO cities VALUES (1, 'springfield', 'POLYGON ((10 10, 14 10, 14 14, 10 14, 10 10))')",
+		"INSERT INTO cities VALUES (2, 'shelbyville', 'POLYGON ((30 30, 34 30, 34 34, 30 34, 30 30))')",
+		"INSERT INTO cities VALUES (3, 'ogdenville', 'POLYGON ((12 12, 16 12, 16 16, 12 16, 12 12))')",
+		"CREATE INDEX cities_idx ON cities(geom) INDEXTYPE IS RTREE",
+	}
+	for _, s := range stmts {
+		if _, err := eng.Execute(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return eng
+}
+
+func drain(t *testing.T, cur storage.Cursor) []storage.Row {
+	t.Helper()
+	defer cur.Close()
+	var rows []storage.Row
+	for {
+		_, row, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return rows
+		}
+		rows = append(rows, row)
+	}
+}
+
+func TestExecuteStreamImmediate(t *testing.T) {
+	eng := streamEngine(t)
+	s, err := eng.ExecuteStream("INSERT INTO cities VALUES (4, 'capital', 'POINT (50 50)')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Result == nil || s.Cursor != nil {
+		t.Fatalf("INSERT should be immediate: %+v", s)
+	}
+	s, err = eng.ExecuteStream("SELECT count(*) FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Result == nil || s.Result.Count != 4 {
+		t.Fatalf("COUNT should be immediate with count 4: %+v", s.Result)
+	}
+}
+
+func TestExecuteStreamTableScan(t *testing.T) {
+	eng := streamEngine(t)
+	s, err := eng.ExecuteStream("SELECT name FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cursor == nil || len(s.Schema) != 1 || s.Schema[0].Name != "name" || s.Schema[0].Type != storage.TString {
+		t.Fatalf("scan stream = %+v", s)
+	}
+	rows := drain(t, s.Cursor)
+	if len(rows) != 3 {
+		t.Fatalf("scan streamed %d rows, want 3", len(rows))
+	}
+}
+
+func TestExecuteStreamSpatialWhere(t *testing.T) {
+	eng := streamEngine(t)
+	s, err := eng.ExecuteStream("SELECT name FROM cities WHERE sdo_relate(geom, 'POINT (13 13)', 'mask=contains') = 'TRUE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, s.Cursor)
+	got := map[string]bool{}
+	for _, r := range rows {
+		got[r[0].S] = true
+	}
+	if len(got) != 2 || !got["springfield"] || !got["ogdenville"] {
+		t.Fatalf("contains(13,13) streamed %v", got)
+	}
+}
+
+func TestExecuteStreamJoin(t *testing.T) {
+	eng := streamEngine(t)
+	s, err := eng.ExecuteStream("SELECT rid1, rid2 FROM TABLE(spatial_join('cities','geom','cities','geom','anyinteract', 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Schema) != 2 || s.Schema[0].Name != "rid1" || s.Schema[1].Name != "rid2" {
+		t.Fatalf("join schema = %+v", s.Schema)
+	}
+	rows := drain(t, s.Cursor)
+	// Streaming must agree with the materialised COUNT execution.
+	res, err := eng.Execute("SELECT count(*) FROM TABLE(spatial_join('cities','geom','cities','geom','anyinteract', 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != res.Count {
+		t.Fatalf("streamed %d join rows, COUNT says %d", len(rows), res.Count)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("self-join of 3 rows streamed only %d pairs", len(rows))
+	}
+}
+
+func TestExecuteStreamErrors(t *testing.T) {
+	eng := streamEngine(t)
+	if _, err := eng.ExecuteStream("SELECT bogus FROM cities"); err == nil {
+		t.Errorf("unknown column accepted")
+	}
+	if _, err := eng.ExecuteStream("SELECT nope FROM TABLE(spatial_join('cities','geom','cities','geom','anyinteract', 0))"); err == nil {
+		t.Errorf("unknown join column accepted")
+	}
+	if _, err := eng.ExecuteStream("SELECT name FROM missing"); err == nil {
+		t.Errorf("missing table accepted")
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"spatialtf/internal/storage"
+)
+
+// Client is a connection to a spatialtf query server. One client holds
+// one connection; requests are serialised (the protocol is strict
+// request/response), but several cursors may be open at once and their
+// fetches interleaved. A Client is safe for concurrent use by multiple
+// goroutines.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server at addr ("host:port") and performs the
+// protocol handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection, performing the handshake:
+// each side sends the protocol magic and verifies the peer's.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if err := WriteMagic(c.bw); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := ExpectMagic(c.br); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection. Open cursors become unusable.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// RemoteError is a failure reported by the server (as opposed to a
+// transport failure).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: " + e.Msg }
+
+// roundTrip sends one frame and reads the reply, handling Error frames.
+func (c *Client) roundTrip(t FrameType, payload []byte) (FrameType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, err := ReadFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rt == FrameError {
+		msg, perr := ParseError(rp)
+		if perr != nil {
+			return 0, nil, perr
+		}
+		return 0, nil, &RemoteError{Msg: msg}
+	}
+	return rt, rp, nil
+}
+
+// QueryResult is the outcome of Client.Query: either an immediate
+// result (DDL/DML/COUNT — Cursor is nil) or an open cursor streaming a
+// SELECT row source.
+type QueryResult struct {
+	Message  string
+	HasCount bool
+	Count    int64
+	Columns  []string
+	Rows     [][]string
+	// Cursor is non-nil for streaming results; the caller must drain or
+	// Close it.
+	Cursor *Cursor
+}
+
+// Format renders an immediate result (or a cursor announcement) as an
+// aligned text table, mirroring the local REPL rendering.
+func (r *QueryResult) Format() string {
+	if r.Cursor != nil {
+		return fmt.Sprintf("(cursor %d open)\n", r.Cursor.ID())
+	}
+	if r.Message != "" {
+		return r.Message + "\n"
+	}
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] && len(v) <= 48 {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, v := range cells {
+			if len(v) > 48 {
+				v = v[:45] + "..."
+			}
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}
+
+// Query executes one SQL statement on the server. Streaming SELECTs
+// return a QueryResult holding an open Cursor; everything else returns
+// an immediate QueryResult.
+func (c *Client) Query(sql string) (*QueryResult, error) {
+	t, p, err := c.roundTrip(FrameQuery, AppendQuery(nil, sql))
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case FrameResult:
+		r, err := ParseResult(p)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{
+			Message:  r.Message,
+			HasCount: r.HasCount,
+			Count:    r.Count,
+			Columns:  r.Columns,
+			Rows:     r.Rows,
+		}, nil
+	case FrameDescribe:
+		id, schema, err := ParseDescribe(p)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{Cursor: &Cursor{c: c, id: id, schema: schema}}, nil
+	default:
+		return nil, fmt.Errorf("wire: unexpected reply frame 0x%02x to Query", byte(t))
+	}
+}
+
+// Stats fetches the server's statistics snapshot.
+func (c *Client) Stats() (Stats, error) {
+	t, p, err := c.roundTrip(FrameStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if t != FrameStatsReply {
+		return Stats{}, fmt.Errorf("wire: unexpected reply frame 0x%02x to Stats", byte(t))
+	}
+	return ParseStats(p)
+}
+
+// Cursor is a remote result-set cursor: the client half of the
+// start–fetch–close pipeline. Rows arrive in bounded batches pulled by
+// Fetch; the server produces each batch on demand and never buffers the
+// full result.
+type Cursor struct {
+	c      *Client
+	id     uint64
+	schema []storage.Column
+	done   bool
+
+	// Row-at-a-time buffer for Next.
+	buf []storage.Row
+	pos int
+}
+
+// ID returns the server-assigned cursor id.
+func (cur *Cursor) ID() uint64 { return cur.id }
+
+// Columns returns the result schema.
+func (cur *Cursor) Columns() []storage.Column { return cur.schema }
+
+// Fetch pulls the next batch of up to max rows (0 = server default).
+// done reports end of stream, after which the server has already
+// released the cursor and further calls return no rows.
+func (cur *Cursor) Fetch(max int) (rows []storage.Row, done bool, err error) {
+	if cur.done {
+		return nil, true, nil
+	}
+	if max < 0 {
+		max = 0
+	}
+	t, p, err := cur.c.roundTrip(FrameFetch, AppendFetch(nil, cur.id, uint64(max)))
+	if err != nil {
+		if _, remote := err.(*RemoteError); remote {
+			// The server discarded the cursor along with the error.
+			cur.done = true
+		}
+		return nil, false, err
+	}
+	if t != FrameBatch {
+		return nil, false, fmt.Errorf("wire: unexpected reply frame 0x%02x to Fetch", byte(t))
+	}
+	id, d, rows, err := ParseBatch(p, cur.schema)
+	if err != nil {
+		return nil, false, err
+	}
+	if id != cur.id {
+		return nil, false, fmt.Errorf("wire: batch for cursor %d on cursor %d", id, cur.id)
+	}
+	cur.done = d
+	return rows, d, nil
+}
+
+// Next returns rows one at a time, fetching batches (server default
+// size) behind the scenes. ok is false at end of stream.
+func (cur *Cursor) Next() (storage.Row, bool, error) {
+	for cur.pos >= len(cur.buf) {
+		if cur.done {
+			return nil, false, nil
+		}
+		rows, _, err := cur.Fetch(0)
+		if err != nil {
+			return nil, false, err
+		}
+		cur.buf, cur.pos = rows, 0
+		if len(rows) == 0 && cur.done {
+			return nil, false, nil
+		}
+	}
+	row := cur.buf[cur.pos]
+	cur.pos++
+	return row, true, nil
+}
+
+// Close releases the cursor on the server. Idempotent; a drained
+// cursor needs no round trip (the server released it with the final
+// batch).
+func (cur *Cursor) Close() error {
+	if cur.done {
+		return nil
+	}
+	cur.done = true
+	_, _, err := cur.c.roundTrip(FrameCloseCursor, AppendCloseCursor(nil, cur.id))
+	return err
+}

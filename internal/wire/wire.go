@@ -1,0 +1,472 @@
+// Package wire implements the client/server wire protocol of the
+// networked query server: a length-prefixed, little-endian binary
+// framing (versioned by an 8-byte magic, like the snapshot format) that
+// extends the paper's start–fetch–close cursor pipeline across a
+// socket. A remote client opens a cursor with a Query frame, pulls
+// bounded FetchBatch frames exactly as a local consumer drives a
+// pipelined table function's fetch calls, and releases it with
+// CloseCursor — the server never materialises a full result set.
+//
+// Row payloads reuse the storage row codec (storage.EncodeRow), so
+// geometry columns travel in the same WKB-style binary image
+// (geom.MarshalBinary) that heap pages and snapshots store.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"spatialtf/internal/storage"
+)
+
+// Magic opens every connection in both directions; the trailing digit
+// versions the protocol.
+const Magic = "STFWIRE1"
+
+// MaxFrame bounds a frame payload; peers reject anything larger.
+const MaxFrame = 16 << 20
+
+// FrameType tags a frame. Client-to-server types have the high bit
+// clear, server-to-client types have it set.
+type FrameType byte
+
+// Frame types.
+const (
+	// FrameQuery carries one SQL statement: string sql.
+	FrameQuery FrameType = 0x01
+	// FrameFetch pulls a batch: uvarint cursor id, uvarint max rows
+	// (0 = server default).
+	FrameFetch FrameType = 0x02
+	// FrameCloseCursor releases a cursor early: uvarint cursor id.
+	FrameCloseCursor FrameType = 0x03
+	// FrameStats requests server statistics; empty payload.
+	FrameStats FrameType = 0x04
+
+	// FrameResult is an immediate statement outcome (DDL/DML/COUNT).
+	FrameResult FrameType = 0x81
+	// FrameDescribe announces a new cursor: uvarint cursor id, uvarint
+	// ncols, per column string name + byte type.
+	FrameDescribe FrameType = 0x82
+	// FrameBatch is one fetch batch: uvarint cursor id, byte done,
+	// uvarint nrows, per row uvarint length + storage row image.
+	FrameBatch FrameType = 0x83
+	// FrameStatsReply carries a Stats snapshot.
+	FrameStatsReply FrameType = 0x84
+	// FrameError reports a failure: string message. The connection
+	// stays usable unless the peer closes it.
+	FrameError FrameType = 0x8F
+)
+
+// WriteFrame writes one frame (uint32 little-endian payload length,
+// type byte, payload). The caller flushes.
+func WriteFrame(w *bufio.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r *bufio.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(hdr[4]), payload, nil
+}
+
+// WriteMagic sends the protocol magic.
+func WriteMagic(w io.Writer) error {
+	_, err := io.WriteString(w, Magic)
+	return err
+}
+
+// ExpectMagic reads and verifies the protocol magic.
+func ExpectMagic(r io.Reader) error {
+	buf := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("wire: handshake: %w", err)
+	}
+	if string(buf) != Magic {
+		return fmt.Errorf("wire: bad magic %q (want %q)", buf, Magic)
+	}
+	return nil
+}
+
+// --- payload building and parsing ---
+
+// payload is an append-only payload builder.
+type payload struct{ b []byte }
+
+func (p *payload) u64(v uint64)  { p.b = binary.AppendUvarint(p.b, v) }
+func (p *payload) byteV(v byte)  { p.b = append(p.b, v) }
+func (p *payload) str(s string)  { p.u64(uint64(len(s))); p.b = append(p.b, s...) }
+func (p *payload) blob(b []byte) { p.u64(uint64(len(b))); p.b = append(p.b, b...) }
+
+// pReader consumes a payload.
+type pReader struct{ b []byte }
+
+func (p *pReader) u64() (uint64, error) {
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated uvarint")
+	}
+	p.b = p.b[n:]
+	return v, nil
+}
+
+func (p *pReader) byteV() (byte, error) {
+	if len(p.b) < 1 {
+		return 0, fmt.Errorf("wire: truncated byte")
+	}
+	v := p.b[0]
+	p.b = p.b[1:]
+	return v, nil
+}
+
+func (p *pReader) blob() ([]byte, error) {
+	l, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(p.b)) < l {
+		return nil, fmt.Errorf("wire: truncated payload: need %d, have %d", l, len(p.b))
+	}
+	out := p.b[:l]
+	p.b = p.b[l:]
+	return out, nil
+}
+
+func (p *pReader) str() (string, error) {
+	b, err := p.blob()
+	return string(b), err
+}
+
+func (p *pReader) done() error {
+	if len(p.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in frame", len(p.b))
+	}
+	return nil
+}
+
+// --- Query ---
+
+// AppendQuery encodes a Query payload.
+func AppendQuery(dst []byte, sql string) []byte {
+	p := payload{b: dst}
+	p.str(sql)
+	return p.b
+}
+
+// ParseQuery decodes a Query payload.
+func ParseQuery(b []byte) (string, error) {
+	p := pReader{b: b}
+	sql, err := p.str()
+	if err != nil {
+		return "", err
+	}
+	return sql, p.done()
+}
+
+// --- Fetch / CloseCursor ---
+
+// AppendFetch encodes a Fetch payload.
+func AppendFetch(dst []byte, cursorID, maxRows uint64) []byte {
+	p := payload{b: dst}
+	p.u64(cursorID)
+	p.u64(maxRows)
+	return p.b
+}
+
+// ParseFetch decodes a Fetch payload.
+func ParseFetch(b []byte) (cursorID, maxRows uint64, err error) {
+	p := pReader{b: b}
+	if cursorID, err = p.u64(); err != nil {
+		return 0, 0, err
+	}
+	if maxRows, err = p.u64(); err != nil {
+		return 0, 0, err
+	}
+	return cursorID, maxRows, p.done()
+}
+
+// AppendCloseCursor encodes a CloseCursor payload.
+func AppendCloseCursor(dst []byte, cursorID uint64) []byte {
+	p := payload{b: dst}
+	p.u64(cursorID)
+	return p.b
+}
+
+// ParseCloseCursor decodes a CloseCursor payload.
+func ParseCloseCursor(b []byte) (uint64, error) {
+	p := pReader{b: b}
+	id, err := p.u64()
+	if err != nil {
+		return 0, err
+	}
+	return id, p.done()
+}
+
+// --- Describe ---
+
+// AppendDescribe encodes a Describe payload.
+func AppendDescribe(dst []byte, cursorID uint64, schema []storage.Column) []byte {
+	p := payload{b: dst}
+	p.u64(cursorID)
+	p.u64(uint64(len(schema)))
+	for _, c := range schema {
+		p.str(c.Name)
+		p.byteV(byte(c.Type))
+	}
+	return p.b
+}
+
+// ParseDescribe decodes a Describe payload.
+func ParseDescribe(b []byte) (cursorID uint64, schema []storage.Column, err error) {
+	p := pReader{b: b}
+	if cursorID, err = p.u64(); err != nil {
+		return 0, nil, err
+	}
+	n, err := p.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 4096 {
+		return 0, nil, fmt.Errorf("wire: describe with %d columns", n)
+	}
+	schema = make([]storage.Column, n)
+	for i := range schema {
+		if schema[i].Name, err = p.str(); err != nil {
+			return 0, nil, err
+		}
+		t, err := p.byteV()
+		if err != nil {
+			return 0, nil, err
+		}
+		schema[i].Type = storage.ColType(t)
+	}
+	return cursorID, schema, p.done()
+}
+
+// --- Batch ---
+
+// AppendBatch encodes a Batch payload: the rows travel in the storage
+// row codec under the cursor's schema.
+func AppendBatch(dst []byte, cursorID uint64, done bool, schema []storage.Column, rows []storage.Row) ([]byte, error) {
+	p := payload{b: dst}
+	p.u64(cursorID)
+	d := byte(0)
+	if done {
+		d = 1
+	}
+	p.byteV(d)
+	p.u64(uint64(len(rows)))
+	for _, row := range rows {
+		img, err := storage.EncodeRow(schema, row)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode batch row: %w", err)
+		}
+		p.blob(img)
+	}
+	return p.b, nil
+}
+
+// ParseBatch decodes a Batch payload against the cursor's schema.
+func ParseBatch(b []byte, schema []storage.Column) (cursorID uint64, done bool, rows []storage.Row, err error) {
+	p := pReader{b: b}
+	if cursorID, err = p.u64(); err != nil {
+		return 0, false, nil, err
+	}
+	d, err := p.byteV()
+	if err != nil {
+		return 0, false, nil, err
+	}
+	n, err := p.u64()
+	if err != nil {
+		return 0, false, nil, err
+	}
+	rows = make([]storage.Row, 0, min(n, uint64(1<<16)))
+	for i := uint64(0); i < n; i++ {
+		img, err := p.blob()
+		if err != nil {
+			return 0, false, nil, err
+		}
+		row, err := storage.DecodeRow(schema, img)
+		if err != nil {
+			return 0, false, nil, fmt.Errorf("wire: decode batch row: %w", err)
+		}
+		rows = append(rows, row)
+	}
+	return cursorID, d != 0, rows, p.done()
+}
+
+// --- Result ---
+
+// Result is an immediate statement outcome: message for DDL/DML, or a
+// small string table (COUNT results travel this way; large row sources
+// use cursors instead).
+type Result struct {
+	Message  string
+	HasCount bool
+	Count    int64
+	Columns  []string
+	Rows     [][]string
+}
+
+// AppendResult encodes a Result payload.
+func AppendResult(dst []byte, r Result) []byte {
+	p := payload{b: dst}
+	p.str(r.Message)
+	hc := byte(0)
+	if r.HasCount {
+		hc = 1
+	}
+	p.byteV(hc)
+	p.u64(uint64(r.Count))
+	p.u64(uint64(len(r.Columns)))
+	for _, c := range r.Columns {
+		p.str(c)
+	}
+	p.u64(uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		for _, v := range row {
+			p.str(v)
+		}
+	}
+	return p.b
+}
+
+// ParseResult decodes a Result payload.
+func ParseResult(b []byte) (Result, error) {
+	var r Result
+	p := pReader{b: b}
+	var err error
+	if r.Message, err = p.str(); err != nil {
+		return r, err
+	}
+	hc, err := p.byteV()
+	if err != nil {
+		return r, err
+	}
+	r.HasCount = hc != 0
+	c, err := p.u64()
+	if err != nil {
+		return r, err
+	}
+	r.Count = int64(c)
+	ncols, err := p.u64()
+	if err != nil {
+		return r, err
+	}
+	if ncols > 4096 {
+		return r, fmt.Errorf("wire: result with %d columns", ncols)
+	}
+	r.Columns = make([]string, ncols)
+	for i := range r.Columns {
+		if r.Columns[i], err = p.str(); err != nil {
+			return r, err
+		}
+	}
+	nrows, err := p.u64()
+	if err != nil {
+		return r, err
+	}
+	for i := uint64(0); i < nrows; i++ {
+		row := make([]string, ncols)
+		for k := range row {
+			if row[k], err = p.str(); err != nil {
+				return r, err
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, p.done()
+}
+
+// --- Error ---
+
+// AppendError encodes an Error payload.
+func AppendError(dst []byte, msg string) []byte {
+	p := payload{b: dst}
+	p.str(msg)
+	return p.b
+}
+
+// ParseError decodes an Error payload.
+func ParseError(b []byte) (string, error) {
+	p := pReader{b: b}
+	msg, err := p.str()
+	if err != nil {
+		return "", err
+	}
+	return msg, p.done()
+}
+
+// --- Stats ---
+
+// Stats is the server statistics snapshot shipped by FrameStatsReply.
+type Stats struct {
+	// Connections.
+	ConnsAccepted int64
+	ConnsRejected int64
+	ConnsActive   int64
+	// Cursors.
+	CursorsOpened int64
+	CursorsOpen   int64
+	// Work.
+	Queries      int64
+	Errors       int64
+	RowsStreamed int64
+	Fetches      int64
+	// FetchNanos is total time spent producing fetch batches; divide by
+	// Fetches for the mean fetch latency.
+	FetchNanos int64
+}
+
+// AppendStats encodes a Stats payload.
+func AppendStats(dst []byte, s Stats) []byte {
+	p := payload{b: dst}
+	for _, v := range []int64{
+		s.ConnsAccepted, s.ConnsRejected, s.ConnsActive,
+		s.CursorsOpened, s.CursorsOpen,
+		s.Queries, s.Errors, s.RowsStreamed, s.Fetches, s.FetchNanos,
+	} {
+		p.u64(uint64(v))
+	}
+	return p.b
+}
+
+// ParseStats decodes a Stats payload.
+func ParseStats(b []byte) (Stats, error) {
+	var s Stats
+	p := pReader{b: b}
+	for _, dst := range []*int64{
+		&s.ConnsAccepted, &s.ConnsRejected, &s.ConnsActive,
+		&s.CursorsOpened, &s.CursorsOpen,
+		&s.Queries, &s.Errors, &s.RowsStreamed, &s.Fetches, &s.FetchNanos,
+	} {
+		v, err := p.u64()
+		if err != nil {
+			return s, err
+		}
+		*dst = int64(v)
+	}
+	return s, p.done()
+}

@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	payloads := [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(bw, FrameType(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	for i, p := range payloads {
+		ft, got, err := ReadFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != FrameType(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, ft, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := WriteFrame(bw, FrameQuery, make([]byte, MaxFrame+1)); err == nil {
+		t.Errorf("oversize write accepted")
+	}
+	// A forged oversize header is rejected on read before allocating.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(FrameQuery)}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+		t.Errorf("oversize read accepted")
+	}
+}
+
+func TestMagicHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExpectMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExpectMagic(strings.NewReader("NOTMAGIC")); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	if err := ExpectMagic(strings.NewReader("STF")); err == nil {
+		t.Errorf("truncated magic accepted")
+	}
+}
+
+func TestQueryFetchCloseCodec(t *testing.T) {
+	sql := "SELECT * FROM t WHERE sdo_relate(geom, 'POINT (1 2)', 'mask=inside') = 'TRUE'"
+	got, err := ParseQuery(AppendQuery(nil, sql))
+	if err != nil || got != sql {
+		t.Fatalf("query round trip: %q, %v", got, err)
+	}
+	id, maxRows, err := ParseFetch(AppendFetch(nil, 42, 1000))
+	if err != nil || id != 42 || maxRows != 1000 {
+		t.Fatalf("fetch round trip: %d/%d, %v", id, maxRows, err)
+	}
+	cid, err := ParseCloseCursor(AppendCloseCursor(nil, 7))
+	if err != nil || cid != 7 {
+		t.Fatalf("close round trip: %d, %v", cid, err)
+	}
+	// Trailing garbage is rejected.
+	if _, _, err := ParseFetch(append(AppendFetch(nil, 1, 2), 0x00)); err == nil {
+		t.Errorf("trailing bytes accepted")
+	}
+	if _, err := ParseQuery(nil); err == nil {
+		t.Errorf("empty query payload accepted")
+	}
+}
+
+func TestDescribeCodec(t *testing.T) {
+	schema := []storage.Column{
+		{Name: "id", Type: storage.TInt64},
+		{Name: "name", Type: storage.TString},
+		{Name: "geom", Type: storage.TGeometry},
+	}
+	id, got, err := ParseDescribe(AppendDescribe(nil, 3, schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || !reflect.DeepEqual(got, schema) {
+		t.Fatalf("describe round trip: id=%d schema=%+v", id, got)
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	g, err := geom.ParseWKT("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := []storage.Column{
+		{Name: "id", Type: storage.TInt64},
+		{Name: "name", Type: storage.TString},
+		{Name: "geom", Type: storage.TGeometry},
+	}
+	rows := []storage.Row{
+		{storage.Int(1), storage.Str("alpha"), storage.Geom(g)},
+		{storage.Int(2), storage.Str("beta"), storage.Geom(g)},
+	}
+	img, err := AppendBatch(nil, 9, true, schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, done, got, err := ParseBatch(img, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 9 || !done || len(got) != 2 {
+		t.Fatalf("batch header: id=%d done=%v rows=%d", id, done, len(got))
+	}
+	if got[0][0].I != 1 || got[0][1].S != "alpha" || got[1][0].I != 2 {
+		t.Fatalf("batch scalars corrupted: %v", got)
+	}
+	if !got[0][2].G.Equal(g) {
+		t.Fatalf("geometry did not survive the wire: %v", got[0][2].G)
+	}
+	// Empty batch.
+	img, err = AppendBatch(nil, 1, false, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, got, err := ParseBatch(img, schema); err != nil || done || len(got) != 0 {
+		t.Fatalf("empty batch: done=%v rows=%d err=%v", done, len(got), err)
+	}
+	// Truncated payload.
+	img, _ = AppendBatch(nil, 9, true, schema, rows)
+	if _, _, _, err := ParseBatch(img[:len(img)/2], schema); err == nil {
+		t.Errorf("truncated batch accepted")
+	}
+}
+
+func TestResultCodec(t *testing.T) {
+	in := Result{
+		Message:  "",
+		HasCount: true,
+		Count:    1234,
+		Columns:  []string{"COUNT(*)"},
+		Rows:     [][]string{{"1234"}},
+	}
+	got, err := ParseResult(AppendResult(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("result round trip: %+v want %+v", got, in)
+	}
+	msg := Result{Message: "table created"}
+	got, err = ParseResult(AppendResult(nil, msg))
+	if err != nil || got.Message != "table created" || got.HasCount {
+		t.Fatalf("message result round trip: %+v, %v", got, err)
+	}
+}
+
+func TestErrorCodec(t *testing.T) {
+	msg, err := ParseError(AppendError(nil, "no such cursor 7"))
+	if err != nil || msg != "no such cursor 7" {
+		t.Fatalf("error round trip: %q, %v", msg, err)
+	}
+}
+
+func TestStatsCodec(t *testing.T) {
+	in := Stats{
+		ConnsAccepted: 10, ConnsRejected: 2, ConnsActive: 3,
+		CursorsOpened: 40, CursorsOpen: 4,
+		Queries: 100, Errors: 5, RowsStreamed: 99999, Fetches: 400, FetchNanos: 123456789,
+	}
+	got, err := ParseStats(AppendStats(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("stats round trip: %+v want %+v", got, in)
+	}
+	if _, err := ParseStats([]byte{0x01}); err == nil {
+		t.Errorf("truncated stats accepted")
+	}
+}

@@ -3,8 +3,10 @@ package spatialtf
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"spatialtf/internal/geom"
+	"spatialtf/internal/rtree"
 	"spatialtf/internal/sjoin"
 	"spatialtf/internal/storage"
 )
@@ -74,11 +76,38 @@ func (db *DB) joinSource(table, index string) (sjoin.Source, error) {
 	return sjoin.Source{Table: t.inner, Column: meta.ColumnName, Tree: tree}, nil
 }
 
+// pinTrees read-pins the operand R-trees so concurrent DML waits for
+// the cursor instead of racing its NodeRef traversal, returning the
+// matching unpin. Pins are acquired in tree creation order so two
+// cursors over the same pair of trees (in either operand order) cannot
+// deadlock against queued writers.
+func pinTrees(a, b *rtree.Tree) func() {
+	if a == b {
+		a.Pin()
+		return a.Unpin
+	}
+	if a.Seq() > b.Seq() {
+		a, b = b, a
+	}
+	a.Pin()
+	b.Pin()
+	return func() {
+		b.Unpin()
+		a.Unpin()
+	}
+}
+
 // JoinCursor streams spatial-join result pairs — the pipelined rows of
 //
 //	select rid1, rid2 from TABLE(spatial_join(...))
+//
+// While the cursor is open the operand R-trees are pinned: reads stay
+// concurrent but DML on the joined tables blocks until Close (or the
+// stream is drained). Always Close a JoinCursor.
 type JoinCursor struct {
-	cur storage.Cursor
+	cur    storage.Cursor
+	unpin  func()
+	closed sync.Once
 }
 
 // Next returns the next result pair; ok is false at end of stream.
@@ -94,11 +123,23 @@ func (jc *JoinCursor) Next() (p Pair, ok bool, err error) {
 	return p, true, nil
 }
 
-// Close releases the cursor (and cancels parallel instances).
-func (jc *JoinCursor) Close() error { return jc.cur.Close() }
+// Close releases the cursor (and cancels parallel instances) and
+// unpins the operand trees. Close is idempotent.
+func (jc *JoinCursor) Close() error {
+	err := jc.cur.Close()
+	jc.closed.Do(func() {
+		if jc.unpin != nil {
+			jc.unpin()
+		}
+	})
+	return err
+}
 
-// Collect drains the cursor into a slice.
-func (jc *JoinCursor) Collect() ([]Pair, error) { return sjoin.CollectPairs(jc.cur) }
+// Collect drains the cursor into a slice and closes it.
+func (jc *JoinCursor) Collect() ([]Pair, error) {
+	defer jc.Close()
+	return sjoin.CollectPairs(jc.cur)
+}
 
 // SpatialJoin evaluates the index-based spatial join of two R-tree-
 // indexed tables through the spatial_join table function, pipelined
@@ -116,6 +157,7 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 	if err != nil {
 		return nil, err
 	}
+	unpin := pinTrees(a.Tree, b.Tree)
 	var cur storage.Cursor
 	if opt.Parallel > 1 {
 		cur, err = sjoin.ParallelIndexJoin(a, b, cfg, opt.Parallel)
@@ -123,9 +165,10 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 		cur, err = sjoin.IndexJoin(a, b, cfg)
 	}
 	if err != nil {
+		unpin()
 		return nil, err
 	}
-	return &JoinCursor{cur: cur}, nil
+	return &JoinCursor{cur: cur, unpin: unpin}, nil
 }
 
 // ExplainJoin describes how a SpatialJoin with the given options would

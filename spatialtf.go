@@ -121,6 +121,14 @@ func Open() *DB {
 type Table struct {
 	db    *DB
 	inner *storage.Table
+
+	// addMu guards the monotonic id sequence Add draws from. The
+	// sequence never reuses an id, even after deletes, and is seeded
+	// past the largest stored id the first time Add runs (so Add keeps
+	// working on tables filled by Insert, LoadDataset or Restore).
+	addMu     sync.Mutex
+	addNext   int64
+	addSeeded bool
 }
 
 // Errors returned by the facade.
@@ -178,9 +186,40 @@ func (t *Table) Insert(vals ...Value) (RowID, error) {
 }
 
 // Add inserts into a CreateSpatialTable-style table: the id column is
-// the current row count, the name and geometry are as given.
+// drawn from a monotonic per-table sequence (never reused, even after
+// deletes), the name and geometry are as given.
 func (t *Table) Add(name string, g Geometry) (RowID, error) {
-	return t.inner.Insert(Row{Int(int64(t.inner.Len())), Str(name), Geom(g)})
+	id, err := t.nextAddID()
+	if err != nil {
+		return storage.InvalidRowID, err
+	}
+	return t.inner.Insert(Row{Int(id), Str(name), Geom(g)})
+}
+
+// nextAddID reserves the next id for Add, seeding the sequence from the
+// stored rows on first use.
+func (t *Table) nextAddID() (int64, error) {
+	t.addMu.Lock()
+	defer t.addMu.Unlock()
+	if !t.addSeeded {
+		if len(t.inner.Schema()) == 0 || t.inner.Schema()[0].Type != TInt64 {
+			return 0, fmt.Errorf("spatialtf: Add needs an INT id as the first column of %q", t.inner.Name())
+		}
+		max := int64(-1)
+		if err := t.inner.Scan(func(_ RowID, row Row) bool {
+			if row[0].I > max {
+				max = row[0].I
+			}
+			return true
+		}); err != nil {
+			return 0, err
+		}
+		t.addNext = max + 1
+		t.addSeeded = true
+	}
+	id := t.addNext
+	t.addNext++
+	return id, nil
 }
 
 // Fetch returns the row at id.
