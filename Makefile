@@ -1,11 +1,12 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# build, and the complete test suite under the race detector.
+# build, the complete test suite under the race detector, and a
+# one-iteration benchmark smoke run (so benchmarks cannot silently rot).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-wire
+.PHONY: ci fmt-check vet build test race bench bench-smoke bench-wire bench-record
 
-ci: fmt-check vet build race
+ci: fmt-check vet build race bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -28,6 +29,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Compile-and-run smoke over every benchmark: one iteration each, no
+# timing fidelity, just proof they still execute.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x -count 1 ./...
+
 # Wire-protocol streaming throughput (loopback server + client).
 bench-wire:
 	$(GO) test -run NONE -bench BenchmarkWireJoinStream -benchmem .
+
+# Full benchmark sweep recorded as NDJSON (one `go test -json` event
+# per line) for before/after comparison; writes BENCH_pr2.json.
+bench-record:
+	./scripts/bench_record.sh

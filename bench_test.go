@@ -229,6 +229,9 @@ func BenchmarkAblationCandidateOrder(b *testing.B) {
 			cfg := sjoin.DefaultConfig()
 			cfg.SortCandidates = sorted
 			cfg.CandidateCap = 1 << 20
+			// Cache off: with caching both orders converge on one fetch
+			// per distinct rowid, hiding the ordering effect under test.
+			cfg.GeomCacheBytes = -1
 			for i := 0; i < b.N; i++ {
 				fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
 				if err != nil {
@@ -359,6 +362,61 @@ func BenchmarkAblationInteriorApprox(b *testing.B) {
 				}
 				b.ReportMetric(float64(stats.GeomFetches), "geom-fetches")
 				b.ReportMetric(float64(stats.FastAccepts), "fast-accepts")
+			}
+		})
+	}
+}
+
+// Ablation 7: primary-filter algorithm — forward plane sweep over
+// xlo-sorted entry lists (default) vs the nested entry-pair scan.
+// Node accesses are identical by construction (same traversal); the
+// sweep changes only the per-node-pair intersection cost.
+func BenchmarkAblationPrimaryFilter(b *testing.B) {
+	fixtures(b)
+	for _, nested := range []bool{false, true} {
+		b.Run(fmt.Sprintf("nested=%v", nested), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.NestedPrimaryFilter = nested
+			for i := 0; i < b.N; i++ {
+				fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := sjoin.RunJoinFunction(fn, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.NodeAccesses), "node-accesses")
+				b.ReportMetric(float64(stats.Candidates), "candidates")
+			}
+		})
+	}
+}
+
+// Ablation 8: decoded-geometry cache on (default size) vs off,
+// reporting the secondary filter's base-table fetch count and the
+// cache hit rate.
+func BenchmarkAblationGeomCache(b *testing.B) {
+	fixtures(b)
+	for _, cached := range []bool{true, false} {
+		b.Run(fmt.Sprintf("cache=%v", cached), func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			if !cached {
+				cfg.GeomCacheBytes = -1
+			}
+			for i := 0; i < b.N; i++ {
+				fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := sjoin.RunJoinFunction(fn, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.GeomFetches), "geom-fetches")
+				if looks := stats.CacheHits + stats.CacheMisses; looks > 0 {
+					b.ReportMetric(100*float64(stats.CacheHits)/float64(looks), "hit-%")
+				}
 			}
 		})
 	}

@@ -326,6 +326,8 @@ func remoteMeta(cli *wire.Client, cmd string, batch *int) bool {
 		}
 		fmt.Printf("streaming:   %d rows over %d fetches (mean fetch %s)\n",
 			s.RowsStreamed, s.Fetches, mean.Round(time.Microsecond))
+		fmt.Printf("geom cache:  %d hits / %d misses, %d entries (%d bytes)\n",
+			s.GeomCacheHits, s.GeomCacheMisses, s.GeomCacheEntries, s.GeomCacheBytes)
 	case "\\batch":
 		if len(fields) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: \\batch <rows> (0 = server default)")

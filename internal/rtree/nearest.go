@@ -55,12 +55,14 @@ func (t *Tree) NearestFunc(q geom.MBR, fn func(it Item, lowerBound float64) bool
 			}
 			continue
 		}
-		for _, ent := range e.node.entries {
-			d := ent.mbr.Dist(q)
-			if e.node.leaf {
-				heap.Push(pq, nnEntry{dist: d, item: Item{MBR: ent.mbr, Interior: ent.interior, ID: ent.id}})
+		n := e.node
+		for i := 0; i < n.count(); i++ {
+			m := n.rect(i)
+			d := m.Dist(q)
+			if n.leaf {
+				heap.Push(pq, nnEntry{dist: d, item: Item{MBR: m, Interior: n.interiors[i], ID: n.ids[i]}})
 			} else {
-				heap.Push(pq, nnEntry{dist: d, node: ent.child})
+				heap.Push(pq, nnEntry{dist: d, node: n.children[i]})
 			}
 		}
 	}

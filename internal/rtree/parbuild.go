@@ -1,7 +1,7 @@
 package rtree
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -30,8 +30,8 @@ func ParallelBulkLoad(items []Item, maxEntries, workers int) *Tree {
 
 	// Phase 1 (parallelised in the paper by a table function): the items
 	// — already (mbr, rowid) pairs here — are range-partitioned on X.
-	sort.Slice(items, func(i, j int) bool {
-		return items[i].MBR.Center().X < items[j].MBR.Center().X
+	slices.SortFunc(items, func(a, b Item) int {
+		return cmpFloat(a.MBR.Center().X, b.MBR.Center().X)
 	})
 	chunkLen := (len(items) + workers - 1) / workers
 	var chunks [][]Item
@@ -89,8 +89,8 @@ func ParallelBulkLoadSim(items []Item, maxEntries, workers int) (tree *Tree, clu
 		tr := BulkLoad(items, maxEntries)
 		return tr, time.Since(t0), 0
 	}
-	sort.Slice(items, func(i, j int) bool {
-		return items[i].MBR.Center().X < items[j].MBR.Center().X
+	slices.SortFunc(items, func(a, b Item) int {
+		return cmpFloat(a.MBR.Center().X, b.MBR.Center().X)
 	})
 	chunkLen := (len(items) + workers - 1) / workers
 	var leaves []*node

@@ -6,6 +6,12 @@
 //
 // The tree indexes geometry MBRs keyed by rowid; the exact geometries
 // stay in the base table and are fetched by the join's secondary filter.
+//
+// Node entry rectangles are stored in a structure-of-arrays layout
+// (contiguous xlo/ylo/xhi/yhi float64 slices per node) so the hot scans
+// — window queries, nearest-neighbour expansion, and the spatial join's
+// plane-sweep primary filter — walk flat cache-resident arrays instead
+// of chasing per-entry structs (cf. SIMD-ified R-tree query processing).
 package rtree
 
 import (
@@ -37,7 +43,10 @@ type Item struct {
 	ID       storage.RowID
 }
 
-// entry is a node slot: child is set on internal nodes, item on leaves.
+// entry is a detached node slot used by the cold restructuring paths
+// (split, condense, reinsertion): child is set for internal slots, item
+// fields for leaf slots. The resident layout inside a node is SoA; an
+// entry is only materialised while entries move between nodes.
 type entry struct {
 	mbr geom.MBR
 	// interior is only meaningful on leaf entries.
@@ -46,15 +55,157 @@ type entry struct {
 	id       storage.RowID
 }
 
+// node stores its entry rectangles as four parallel coordinate slices
+// (structure of arrays); slot i's rectangle is
+// (xlo[i], ylo[i], xhi[i], yhi[i]). children is parallel on internal
+// nodes; ids and interiors are parallel on leaves.
 type node struct {
-	leaf    bool
-	entries []entry
+	leaf               bool
+	xlo, ylo, xhi, yhi []float64
+	children           []*node
+	ids                []storage.RowID
+	interiors          []geom.MBR
+}
+
+// newNode returns an empty node with capacity for capHint entries.
+func newNode(leaf bool, capHint int) *node {
+	n := &node{leaf: leaf}
+	if capHint > 0 {
+		coords := make([]float64, 0, 4*capHint)
+		n.xlo = coords[0:0:capHint]
+		n.ylo = coords[capHint : capHint : 2*capHint]
+		n.xhi = coords[2*capHint : 2*capHint : 3*capHint]
+		n.yhi = coords[3*capHint : 3*capHint : 4*capHint]
+		if leaf {
+			n.ids = make([]storage.RowID, 0, capHint)
+			n.interiors = make([]geom.MBR, 0, capHint)
+		} else {
+			n.children = make([]*node, 0, capHint)
+		}
+	}
+	return n
+}
+
+// count returns the number of occupied slots.
+func (n *node) count() int { return len(n.xlo) }
+
+// rect returns slot i's rectangle.
+func (n *node) rect(i int) geom.MBR {
+	return geom.MBR{MinX: n.xlo[i], MinY: n.ylo[i], MaxX: n.xhi[i], MaxY: n.yhi[i]}
+}
+
+// setRect overwrites slot i's rectangle.
+func (n *node) setRect(i int, m geom.MBR) {
+	n.xlo[i], n.ylo[i], n.xhi[i], n.yhi[i] = m.MinX, m.MinY, m.MaxX, m.MaxY
+}
+
+// pushRect appends a rectangle, growing all four coordinate slices.
+func (n *node) pushRect(m geom.MBR) {
+	n.xlo = append(n.xlo, m.MinX)
+	n.ylo = append(n.ylo, m.MinY)
+	n.xhi = append(n.xhi, m.MaxX)
+	n.yhi = append(n.yhi, m.MaxY)
+}
+
+// pushLeaf appends a data slot to a leaf.
+func (n *node) pushLeaf(m, interior geom.MBR, id storage.RowID) {
+	n.pushRect(m)
+	n.ids = append(n.ids, id)
+	n.interiors = append(n.interiors, interior)
+}
+
+// pushChild appends a child slot to an internal node.
+func (n *node) pushChild(m geom.MBR, c *node) {
+	n.pushRect(m)
+	n.children = append(n.children, c)
+}
+
+// pushEntry appends a detached entry, dispatching on the node kind.
+func (n *node) pushEntry(e entry) {
+	if n.leaf {
+		n.pushLeaf(e.mbr, e.interior, e.id)
+	} else {
+		n.pushChild(e.mbr, e.child)
+	}
+}
+
+// entryAt detaches slot i into an entry value.
+func (n *node) entryAt(i int) entry {
+	e := entry{mbr: n.rect(i)}
+	if n.leaf {
+		e.interior = n.interiors[i]
+		e.id = n.ids[i]
+	} else {
+		e.child = n.children[i]
+	}
+	return e
+}
+
+// appendEntries detaches every slot into dst and returns it.
+func (n *node) appendEntries(dst []entry) []entry {
+	for i := 0; i < n.count(); i++ {
+		dst = append(dst, n.entryAt(i))
+	}
+	return dst
+}
+
+// removeAt deletes slot i, preserving slot order.
+func (n *node) removeAt(i int) {
+	n.xlo = append(n.xlo[:i], n.xlo[i+1:]...)
+	n.ylo = append(n.ylo[:i], n.ylo[i+1:]...)
+	n.xhi = append(n.xhi[:i], n.xhi[i+1:]...)
+	n.yhi = append(n.yhi[:i], n.yhi[i+1:]...)
+	if n.leaf {
+		n.ids = append(n.ids[:i], n.ids[i+1:]...)
+		n.interiors = append(n.interiors[:i], n.interiors[i+1:]...)
+	} else {
+		n.children = append(n.children[:i], n.children[i+1:]...)
+	}
+}
+
+// reset empties the node, keeping its backing arrays.
+func (n *node) reset() {
+	n.xlo, n.ylo, n.xhi, n.yhi = n.xlo[:0], n.ylo[:0], n.xhi[:0], n.yhi[:0]
+	if n.leaf {
+		n.ids = n.ids[:0]
+		n.interiors = n.interiors[:0]
+	} else {
+		// Drop child pointers so condensed subtrees can be collected.
+		for i := range n.children {
+			n.children[i] = nil
+		}
+		n.children = n.children[:0]
+	}
+}
+
+// truncate keeps the first k slots of an internal node, dropping the
+// rest (condense compacts in place and then truncates).
+func (n *node) truncate(k int) {
+	n.xlo, n.ylo, n.xhi, n.yhi = n.xlo[:k], n.ylo[:k], n.xhi[:k], n.yhi[:k]
+	for i := k; i < len(n.children); i++ {
+		n.children[i] = nil
+	}
+	n.children = n.children[:k]
 }
 
 func (n *node) mbr() geom.MBR {
-	m := geom.EmptyMBR()
-	for _, e := range n.entries {
-		m = m.Union(e.mbr)
+	if n.count() == 0 {
+		return geom.EmptyMBR()
+	}
+	m := n.rect(0)
+	for i := 1; i < n.count(); i++ {
+		if n.xlo[i] < m.MinX {
+			m.MinX = n.xlo[i]
+		}
+		if n.ylo[i] < m.MinY {
+			m.MinY = n.ylo[i]
+		}
+		if n.xhi[i] > m.MaxX {
+			m.MaxX = n.xhi[i]
+		}
+		if n.yhi[i] > m.MaxY {
+			m.MaxY = n.yhi[i]
+		}
 	}
 	return m
 }
@@ -102,7 +253,7 @@ func New(maxEntries int) *Tree {
 		minEntries = 2
 	}
 	return &Tree{
-		root:       &node{leaf: true},
+		root:       newNode(true, 0),
 		height:     1,
 		maxEntries: maxEntries,
 		minEntries: minEntries,
@@ -168,10 +319,9 @@ func (t *Tree) insertAtLevel(e entry, level int) {
 	split := t.insertInto(t.root, e, level, t.height)
 	if split != nil {
 		old := t.root
-		t.root = &node{entries: []entry{
-			{mbr: old.mbr(), child: old},
-			{mbr: split.mbr(), child: split},
-		}}
+		t.root = newNode(false, 2)
+		t.root.pushChild(old.mbr(), old)
+		t.root.pushChild(split.mbr(), split)
 		t.height++
 	}
 }
@@ -180,19 +330,19 @@ func (t *Tree) insertAtLevel(e entry, level int) {
 // e, and returns a new sibling if n split.
 func (t *Tree) insertInto(n *node, e entry, level, nodeLevel int) *node {
 	if nodeLevel == level {
-		n.entries = append(n.entries, e)
-		if len(n.entries) > t.maxEntries {
+		n.pushEntry(e)
+		if n.count() > t.maxEntries {
 			return t.splitNode(n)
 		}
 		return nil
 	}
 	i := chooseSubtree(n, e.mbr)
-	child := n.entries[i].child
+	child := n.children[i]
 	split := t.insertInto(child, e, level, nodeLevel-1)
-	n.entries[i].mbr = child.mbr()
+	n.setRect(i, child.mbr())
 	if split != nil {
-		n.entries = append(n.entries, entry{mbr: split.mbr(), child: split})
-		if len(n.entries) > t.maxEntries {
+		n.pushChild(split.mbr(), split)
+		if n.count() > t.maxEntries {
 			return t.splitNode(n)
 		}
 	}
@@ -203,11 +353,12 @@ func (t *Tree) insertInto(n *node, e entry, level, nodeLevel int) *node {
 // absorb m, breaking ties by smaller area (Guttman's ChooseLeaf).
 func chooseSubtree(n *node, m geom.MBR) int {
 	best := 0
-	bestEnl := n.entries[0].mbr.Enlargement(m)
-	bestArea := n.entries[0].mbr.Area()
-	for i := 1; i < len(n.entries); i++ {
-		enl := n.entries[i].mbr.Enlargement(m)
-		area := n.entries[i].mbr.Area()
+	bestEnl := n.rect(0).Enlargement(m)
+	bestArea := n.rect(0).Area()
+	for i := 1; i < n.count(); i++ {
+		r := n.rect(i)
+		enl := r.Enlargement(m)
+		area := r.Area()
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}
@@ -218,7 +369,7 @@ func chooseSubtree(n *node, m geom.MBR) int {
 // splitNode performs Guttman's quadratic split in place, leaving half
 // the entries in n and returning a new sibling with the rest.
 func (t *Tree) splitNode(n *node) *node {
-	entries := n.entries
+	entries := n.appendEntries(make([]entry, 0, n.count()))
 	// Pick seeds: the pair wasting the most area if grouped together.
 	s1, s2 := pickSeeds(entries)
 	g1 := []entry{entries[s1]}
@@ -289,8 +440,15 @@ func (t *Tree) splitNode(n *node) *node {
 			m2 = m2.Union(e.mbr)
 		}
 	}
-	n.entries = g1
-	return &node{leaf: n.leaf, entries: g2}
+	n.reset()
+	for _, e := range g1 {
+		n.pushEntry(e)
+	}
+	sib := newNode(n.leaf, len(g2))
+	for _, e := range g2 {
+		sib.pushEntry(e)
+	}
+	return sib
 }
 
 // pickSeeds returns the indexes of the two entries whose combined MBR
@@ -322,17 +480,17 @@ func (t *Tree) Delete(item Item) error {
 	if leaf == nil {
 		return fmt.Errorf("%w: %v", ErrNotFound, item.ID)
 	}
-	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	leaf.removeAt(idx)
 	t.size--
 	var orphans []entry
 	t.condense(t.root, t.height, &orphans)
 	// Shrink the root if it has a single child.
-	for !t.root.leaf && len(t.root.entries) == 1 {
-		t.root = t.root.entries[0].child
+	for !t.root.leaf && t.root.count() == 1 {
+		t.root = t.root.children[0]
 		t.height--
 	}
-	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node{leaf: true}
+	if !t.root.leaf && t.root.count() == 0 {
+		t.root = newNode(true, 0)
 		t.height = 1
 	}
 	for _, e := range orphans {
@@ -344,17 +502,17 @@ func (t *Tree) Delete(item Item) error {
 // findLeaf locates the leaf and slot holding item.
 func (t *Tree) findLeaf(n *node, item Item) (*node, int) {
 	if n.leaf {
-		for i, e := range n.entries {
-			if e.id == item.ID {
+		for i, id := range n.ids {
+			if id == item.ID {
 				return n, i
 			}
 		}
 		return nil, 0
 	}
-	for _, e := range n.entries {
-		if e.mbr.Intersects(item.MBR) {
-			if leaf, i := t.findLeaf(e.child, item); leaf != nil {
-				return leaf, i
+	for i := 0; i < n.count(); i++ {
+		if n.rect(i).Intersects(item.MBR) {
+			if leaf, k := t.findLeaf(n.children[i], item); leaf != nil {
+				return leaf, k
 			}
 		}
 	}
@@ -367,29 +525,31 @@ func (t *Tree) condense(n *node, level int, orphans *[]entry) {
 	if n.leaf {
 		return
 	}
-	kept := n.entries[:0]
-	for _, e := range n.entries {
-		t.condense(e.child, level-1, orphans)
+	kept := 0
+	for i := 0; i < n.count(); i++ {
+		c := n.children[i]
+		t.condense(c, level-1, orphans)
 		// Non-root nodes must hold at least minEntries; dissolve any
 		// child that underflows and reinsert its data entries.
-		if len(e.child.entries) < t.minEntries {
-			collectItems(e.child, orphans)
+		if c.count() < t.minEntries {
+			collectItems(c, orphans)
 			continue
 		}
-		e.mbr = e.child.mbr()
-		kept = append(kept, e)
+		n.children[kept] = c
+		n.setRect(kept, c.mbr())
+		kept++
 	}
-	n.entries = kept
+	n.truncate(kept)
 }
 
 // collectItems gathers all data entries under n.
 func collectItems(n *node, out *[]entry) {
 	if n.leaf {
-		*out = append(*out, n.entries...)
+		*out = n.appendEntries(*out)
 		return
 	}
-	for _, e := range n.entries {
-		collectItems(e.child, out)
+	for _, c := range n.children {
+		collectItems(c, out)
 	}
 }
 
@@ -413,15 +573,28 @@ func (t *Tree) SearchCounted(q geom.MBR, fn func(Item) bool) int {
 
 func searchNode(n *node, q geom.MBR, fn func(Item) bool, visited *int) bool {
 	*visited++
-	for _, e := range n.entries {
-		if !e.mbr.Intersects(q) {
-			continue
-		}
-		if n.leaf {
-			if !fn(Item{MBR: e.mbr, Interior: e.interior, ID: e.id}) {
+	xlo, ylo, xhi, yhi := n.xlo, n.ylo, n.xhi, n.yhi
+	if n.leaf {
+		for i := range xlo {
+			if xlo[i] > q.MaxX || q.MinX > xhi[i] || ylo[i] > q.MaxY || q.MinY > yhi[i] {
+				continue
+			}
+			it := Item{
+				MBR:      geom.MBR{MinX: xlo[i], MinY: ylo[i], MaxX: xhi[i], MaxY: yhi[i]},
+				Interior: n.interiors[i],
+				ID:       n.ids[i],
+			}
+			if !fn(it) {
 				return false
 			}
-		} else if !searchNode(e.child, q, fn, visited) {
+		}
+		return true
+	}
+	for i := range xlo {
+		if xlo[i] > q.MaxX || q.MinX > xhi[i] || ylo[i] > q.MaxY || q.MinY > yhi[i] {
+			continue
+		}
+		if !searchNode(n.children[i], q, fn, visited) {
 			return false
 		}
 	}
@@ -446,15 +619,16 @@ func (t *Tree) SearchWithinDistCounted(q geom.MBR, d float64, fn func(Item) bool
 
 func searchDistNode(n *node, q geom.MBR, d float64, fn func(Item) bool, visited *int) bool {
 	*visited++
-	for _, e := range n.entries {
-		if e.mbr.Dist(q) > d {
+	for i := 0; i < n.count(); i++ {
+		m := n.rect(i)
+		if m.Dist(q) > d {
 			continue
 		}
 		if n.leaf {
-			if !fn(Item{MBR: e.mbr, Interior: e.interior, ID: e.id}) {
+			if !fn(Item{MBR: m, Interior: n.interiors[i], ID: n.ids[i]}) {
 				return false
 			}
-		} else if !searchDistNode(e.child, q, d, fn, visited) {
+		} else if !searchDistNode(n.children[i], q, d, fn, visited) {
 			return false
 		}
 	}
@@ -469,13 +643,13 @@ func (t *Tree) Items() []Item {
 	var walk func(n *node)
 	walk = func(n *node) {
 		if n.leaf {
-			for _, e := range n.entries {
-				out = append(out, Item{MBR: e.mbr, Interior: e.interior, ID: e.id})
+			for i := 0; i < n.count(); i++ {
+				out = append(out, Item{MBR: n.rect(i), Interior: n.interiors[i], ID: n.ids[i]})
 			}
 			return
 		}
-		for _, e := range n.entries {
-			walk(e.child)
+		for _, c := range n.children {
+			walk(c)
 		}
 	}
 	walk(t.root)
@@ -501,13 +675,13 @@ func (t *Tree) Stats() Stats {
 	var walk func(n *node)
 	walk = func(n *node) {
 		s.Nodes++
-		total += len(n.entries)
+		total += n.count()
 		if n.leaf {
 			s.Leaves++
 			return
 		}
-		for _, e := range n.entries {
-			walk(e.child)
+		for _, c := range n.children {
+			walk(c)
 		}
 	}
 	walk(t.root)
@@ -519,8 +693,9 @@ func (t *Tree) Stats() Stats {
 
 // Validate checks the structural invariants: every node MBR equals the
 // union of its entries, leaves all at the same depth, occupancy bounds
-// on non-root nodes, and the item count. Tests run it after mutation
-// storms and after parallel builds.
+// on non-root nodes, parallel-slice consistency of the SoA layout, and
+// the item count. Tests run it after mutation storms and after parallel
+// builds.
 func (t *Tree) Validate() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -538,22 +713,33 @@ func (t *Tree) validateNode(n *node, level int, isRoot bool, count *int) error {
 	if n.leaf != (level == 1) {
 		return fmt.Errorf("rtree: leaf flag %v at level %d", n.leaf, level)
 	}
-	if !isRoot && len(n.entries) < t.minEntries {
-		return fmt.Errorf("rtree: node at level %d underflows with %d entries", level, len(n.entries))
-	}
-	if len(n.entries) > t.maxEntries {
-		return fmt.Errorf("rtree: node at level %d overflows with %d entries", level, len(n.entries))
+	c := n.count()
+	if len(n.ylo) != c || len(n.xhi) != c || len(n.yhi) != c {
+		return fmt.Errorf("rtree: ragged coordinate slices at level %d", level)
 	}
 	if n.leaf {
-		*count += len(n.entries)
+		if len(n.ids) != c || len(n.interiors) != c || len(n.children) != 0 {
+			return fmt.Errorf("rtree: ragged leaf slices at level %d", level)
+		}
+	} else if len(n.children) != c || len(n.ids) != 0 || len(n.interiors) != 0 {
+		return fmt.Errorf("rtree: ragged internal slices at level %d", level)
+	}
+	if !isRoot && c < t.minEntries {
+		return fmt.Errorf("rtree: node at level %d underflows with %d entries", level, c)
+	}
+	if c > t.maxEntries {
+		return fmt.Errorf("rtree: node at level %d overflows with %d entries", level, c)
+	}
+	if n.leaf {
+		*count += c
 		return nil
 	}
-	for _, e := range n.entries {
-		got := e.child.mbr()
-		if got != e.mbr {
-			return fmt.Errorf("rtree: stale MBR at level %d: stored %v, actual %v", level, e.mbr, got)
+	for i := 0; i < c; i++ {
+		got := n.children[i].mbr()
+		if got != n.rect(i) {
+			return fmt.Errorf("rtree: stale MBR at level %d: stored %v, actual %v", level, n.rect(i), got)
 		}
-		if err := t.validateNode(e.child, level-1, false, count); err != nil {
+		if err := t.validateNode(n.children[i], level-1, false, count); err != nil {
 			return err
 		}
 	}

@@ -2,7 +2,7 @@ package rtree
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"spatialtf/internal/geom"
 )
@@ -34,9 +34,9 @@ func packLeaves(items []Item, maxEntries int) []*node {
 	var leaves []*node
 	start := 0
 	for _, size := range groupSizes(len(items), maxEntries) {
-		leaf := &node{leaf: true, entries: make([]entry, 0, size)}
+		leaf := newNode(true, size)
 		for _, it := range items[start : start+size] {
-			leaf.entries = append(leaf.entries, entry{mbr: it.MBR, interior: it.Interior, id: it.ID})
+			leaf.pushLeaf(it.MBR, it.Interior, it.ID)
 		}
 		leaves = append(leaves, leaf)
 		start += size
@@ -65,6 +65,19 @@ func groupSizes(n, maxEntries int) []int {
 	return sizes
 }
 
+// cmpFloat orders two float64 keys for slices.SortFunc (strict weak
+// ordering; the centroid keys are always finite here).
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // strSortItems orders items by the STR tiling: primary sort on X
 // centroid, slice into ceil(sqrt(n/M)) vertical strips, then sort each
 // strip on Y centroid.
@@ -75,8 +88,8 @@ func strSortItems(items []Item, maxEntries int) {
 	if sliceCount < 1 {
 		sliceCount = 1
 	}
-	sort.Slice(items, func(i, j int) bool {
-		return items[i].MBR.Center().X < items[j].MBR.Center().X
+	slices.SortFunc(items, func(a, b Item) int {
+		return cmpFloat(a.MBR.Center().X, b.MBR.Center().X)
 	})
 	sliceLen := sliceCount * maxEntries
 	for start := 0; start < n; start += sliceLen {
@@ -84,9 +97,8 @@ func strSortItems(items []Item, maxEntries int) {
 		if end > n {
 			end = n
 		}
-		s := items[start:end]
-		sort.Slice(s, func(i, j int) bool {
-			return s[i].MBR.Center().Y < s[j].MBR.Center().Y
+		slices.SortFunc(items[start:end], func(a, b Item) int {
+			return cmpFloat(a.MBR.Center().Y, b.MBR.Center().Y)
 		})
 	}
 }
@@ -118,22 +130,21 @@ func packLevel(nodes []*node, maxEntries int) []*node {
 		m := nd.mbr()
 		mbrs[i] = geom4{nd, m.Center().X, m.Center().Y, m}
 	}
-	sort.Slice(mbrs, func(i, j int) bool { return mbrs[i].cx < mbrs[j].cx })
+	slices.SortFunc(mbrs, func(a, b geom4) int { return cmpFloat(a.cx, b.cx) })
 	sliceLen := sliceCount * maxEntries
 	for start := 0; start < n; start += sliceLen {
 		end := start + sliceLen
 		if end > n {
 			end = n
 		}
-		s := mbrs[start:end]
-		sort.Slice(s, func(i, j int) bool { return s[i].cy < s[j].cy })
+		slices.SortFunc(mbrs[start:end], func(a, b geom4) int { return cmpFloat(a.cy, b.cy) })
 	}
 	var parents []*node
 	start := 0
 	for _, size := range groupSizes(n, maxEntries) {
-		p := &node{entries: make([]entry, 0, size)}
+		p := newNode(false, size)
 		for _, g := range mbrs[start : start+size] {
-			p.entries = append(p.entries, entry{mbr: g.m, child: g.n})
+			p.pushChild(g.m, g.n)
 		}
 		parents = append(parents, p)
 		start += size

@@ -32,34 +32,44 @@ func (r NodeRef) IsLeaf() bool { return r.n.leaf }
 func (r NodeRef) MBR() geom.MBR { return r.n.mbr() }
 
 // NumEntries returns the number of slots in the node.
-func (r NodeRef) NumEntries() int { return len(r.n.entries) }
+func (r NodeRef) NumEntries() int { return r.n.count() }
 
 // EntryMBR returns the bounding rectangle of slot i.
-func (r NodeRef) EntryMBR(i int) geom.MBR { return r.n.entries[i].mbr }
+func (r NodeRef) EntryMBR(i int) geom.MBR { return r.n.rect(i) }
+
+// EntryRects exposes the node's structure-of-arrays rectangle layout:
+// slot i's MBR is (xlo[i], ylo[i], xhi[i], yhi[i]). The slices are the
+// node's live storage — callers must treat them as read-only and only
+// hold them while the tree is pinned or otherwise unmodified. The
+// spatial join's plane-sweep primary filter scans these flat arrays
+// directly.
+func (r NodeRef) EntryRects() (xlo, ylo, xhi, yhi []float64) {
+	return r.n.xlo, r.n.ylo, r.n.xhi, r.n.yhi
+}
 
 // EntryID returns the rowid in slot i; only meaningful on leaves.
-func (r NodeRef) EntryID(i int) storage.RowID { return r.n.entries[i].id }
+func (r NodeRef) EntryID(i int) storage.RowID { return r.n.ids[i] }
 
 // EntryInterior returns the interior approximation of slot i (only
 // meaningful on leaves; zero-area when the index was built without
 // interior approximations).
-func (r NodeRef) EntryInterior(i int) geom.MBR { return r.n.entries[i].interior }
+func (r NodeRef) EntryInterior(i int) geom.MBR { return r.n.interiors[i] }
 
 // Child returns the handle of the i-th child; only meaningful on
 // internal nodes.
 func (r NodeRef) Child(i int) NodeRef {
-	return NodeRef{n: r.n.entries[i].child, level: r.level - 1}
+	return NodeRef{n: r.n.children[i], level: r.level - 1}
 }
 
 // Items appends every data item under the node to dst and returns it.
 func (r NodeRef) Items(dst []Item) []Item {
 	if r.n.leaf {
-		for _, e := range r.n.entries {
-			dst = append(dst, Item{MBR: e.mbr, Interior: e.interior, ID: e.id})
+		for i := 0; i < r.n.count(); i++ {
+			dst = append(dst, Item{MBR: r.n.rect(i), Interior: r.n.interiors[i], ID: r.n.ids[i]})
 		}
 		return dst
 	}
-	for i := range r.n.entries {
+	for i := range r.n.children {
 		dst = r.Child(i).Items(dst)
 	}
 	return dst
@@ -75,7 +85,7 @@ func (r NodeRef) String() string {
 	if r.n.leaf {
 		kind = "leaf"
 	}
-	return fmt.Sprintf("NodeRef(%s level=%d entries=%d %v)", kind, r.level, len(r.n.entries), r.n.mbr())
+	return fmt.Sprintf("NodeRef(%s level=%d entries=%d %v)", kind, r.level, r.n.count(), r.n.mbr())
 }
 
 // Root returns the handle of the root node.
@@ -110,7 +120,7 @@ func (t *Tree) SubtreeRoots(descend int) []NodeRef {
 	for d := 0; d < descend; d++ {
 		next := make([]NodeRef, 0, len(level)*t.maxEntries)
 		for _, r := range level {
-			for i := range r.n.entries {
+			for i := range r.n.children {
 				next = append(next, r.Child(i))
 			}
 		}

@@ -262,8 +262,12 @@ func (c *conn) serve() {
 			reply = c.handleClose(bw, payload)
 		case wire.FrameStats:
 			reply = func() error {
+				snap := c.srv.stats.Snapshot()
+				cs := c.srv.db.GeomCacheStats()
+				snap.GeomCacheHits, snap.GeomCacheMisses = cs.Hits, cs.Misses
+				snap.GeomCacheBytes, snap.GeomCacheEntries = cs.Bytes, cs.Entries
 				return wire.WriteFrame(bw, wire.FrameStatsReply,
-					wire.AppendStats(nil, c.srv.stats.Snapshot()))
+					wire.AppendStats(nil, snap))
 			}
 		default:
 			reply = c.sendError(bw, fmt.Sprintf("unknown frame type 0x%02x", byte(t)))
@@ -324,6 +328,27 @@ func (c *conn) handleQuery(bw *bufio.Writer, payload []byte) func() error {
 	}
 }
 
+// batchBuf is the reusable per-fetch scratch: the staged row slice and
+// the encoded batch payload. Pooling both means a steady fetch stream
+// allocates neither the row buffer nor the (large) frame image.
+type batchBuf struct {
+	rows []storage.Row
+	img  []byte
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchBuf) }}
+
+// release clears row references (so pooled buffers don't pin decoded
+// geometries) and returns the buffer to the pool.
+func (bb *batchBuf) release() {
+	for i := range bb.rows {
+		bb.rows[i] = nil
+	}
+	bb.rows = bb.rows[:0]
+	bb.img = bb.img[:0]
+	batchPool.Put(bb)
+}
+
 func (c *conn) handleFetch(bw *bufio.Writer, payload []byte) func() error {
 	id, maxRows, err := wire.ParseFetch(payload)
 	if err != nil {
@@ -345,11 +370,12 @@ func (c *conn) handleFetch(bw *bufio.Writer, payload []byte) func() error {
 		batch = c.srv.cfg.MaxBatch
 	}
 	start := time.Now()
-	rows := make([]storage.Row, 0, batch)
+	bb := batchPool.Get().(*batchBuf)
 	done := false
-	for len(rows) < batch {
+	for len(bb.rows) < batch {
 		_, row, ok, err := sc.cur.Next()
 		if err != nil {
+			bb.release()
 			c.dropCursor(sc)
 			return c.sendError(bw, err.Error())
 		}
@@ -357,26 +383,31 @@ func (c *conn) handleFetch(bw *bufio.Writer, payload []byte) func() error {
 			done = true
 			break
 		}
-		rows = append(rows, row)
+		bb.rows = append(bb.rows, row)
 	}
-	sc.streamed += int64(len(rows))
+	sc.streamed += int64(len(bb.rows))
 	if limit := c.srv.cfg.MaxRowsPerQuery; limit > 0 && sc.streamed > limit {
+		bb.release()
 		c.dropCursor(sc)
 		return c.sendError(bw, fmt.Sprintf("query row limit exceeded (%d rows)", limit))
 	}
 	c.srv.stats.Fetches.Add(1)
 	c.srv.stats.FetchNanos.Add(time.Since(start).Nanoseconds())
-	c.srv.stats.RowsStreamed.Add(int64(len(rows)))
-	img, err := wire.AppendBatch(nil, sc.id, done, sc.schema, rows)
+	c.srv.stats.RowsStreamed.Add(int64(len(bb.rows)))
+	img, err := wire.AppendBatch(bb.img[:0], sc.id, done, sc.schema, bb.rows)
 	if err != nil {
+		bb.release()
 		c.dropCursor(sc)
 		return c.sendError(bw, err.Error())
 	}
+	bb.img = img
 	if done {
 		c.dropCursor(sc)
 	}
 	return func() error {
-		return wire.WriteFrame(bw, wire.FrameBatch, img)
+		err := wire.WriteFrame(bw, wire.FrameBatch, bb.img)
+		bb.release()
+		return err
 	}
 }
 

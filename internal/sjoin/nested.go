@@ -34,6 +34,7 @@ func NestedLoopStats(a, b Source, cfg Config) ([]Pair, JoinStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	cache := cfg.resolveCache()
 	var pairs []Pair
 	var probeErr error
 	scanErr := a.Table.Scan(func(idA storage.RowID, row storage.Row) bool {
@@ -41,13 +42,20 @@ func NestedLoopStats(a, b Source, cfg Config) ([]Pair, JoinStats, error) {
 		mA := geom.MBROf(gA)
 		probe := func(it rtree.Item) bool {
 			stats.Candidates++
-			v, err := b.Table.FetchColumn(it.ID, colB)
+			gB, hit, err := cachedFetch(cache, b.Table, colB, it.ID)
 			if err != nil {
 				probeErr = fmt.Errorf("sjoin: nested loop fetch %v: %w", it.ID, err)
 				return false
 			}
-			stats.GeomFetches++
-			if cfg.secondaryAccepts(gA, v.G) {
+			if hit {
+				stats.CacheHits++
+			} else {
+				stats.GeomFetches++
+				if cache != nil {
+					stats.CacheMisses++
+				}
+			}
+			if cfg.secondaryAccepts(gA, gB) {
 				pairs = append(pairs, Pair{A: idA, B: it.ID})
 				stats.Results++
 			}

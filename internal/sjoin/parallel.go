@@ -75,6 +75,10 @@ func SubtreePairsForWorkers(a, b *rtree.Tree, workers int, cfg Config) []PairOfR
 // instances' pipelined outputs (order unspecified).
 func ParallelIndexJoin(a, b Source, cfg Config, workers int) (storage.Cursor, error) {
 	cfg = cfg.withDefaults()
+	// Resolve the decoded-geometry cache once so all instances share it
+	// (the sharded LRU is safe for concurrent instances); otherwise each
+	// instance would warm a private cache.
+	cfg.GeomCache = cfg.resolveCache()
 	if workers < 1 {
 		workers = 1
 	}

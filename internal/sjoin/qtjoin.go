@@ -2,8 +2,9 @@ package sjoin
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"spatialtf/internal/geom"
 	"spatialtf/internal/quadtree"
 	"spatialtf/internal/storage"
 )
@@ -56,28 +57,31 @@ func QuadtreeJoin(a, b QSource, cfg Config) ([]Pair, error) {
 		cands = append(cands, p)
 	}
 	if cfg.SortCandidates {
-		sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
+		slices.SortFunc(cands, comparePairs)
 	}
-	// Secondary filter.
+	// Secondary filter, fetching through the same decoded-geometry cache
+	// as the R-tree join (shared when Config.GeomCache is set, so a
+	// database serving both index kinds reuses decodes across them).
+	cache := cfg.resolveCache()
 	var (
 		out     []Pair
 		curID   storage.RowID
 		haveCur bool
 	)
-	var curGeom storage.Value
+	var curGeom geom.Geometry
 	for _, p := range cands {
 		if !haveCur || curID != p.A {
-			v, err := a.Table.FetchColumn(p.A, colA)
+			g, _, err := cachedFetch(cache, a.Table, colA, p.A)
 			if err != nil {
 				return nil, err
 			}
-			curID, curGeom, haveCur = p.A, v, true
+			curID, curGeom, haveCur = p.A, g, true
 		}
-		v, err := b.Table.FetchColumn(p.B, colB)
+		g, _, err := cachedFetch(cache, b.Table, colB, p.B)
 		if err != nil {
 			return nil, err
 		}
-		if cfg.secondaryAccepts(curGeom.G, v.G) {
+		if cfg.secondaryAccepts(curGeom, g) {
 			out = append(out, p)
 		}
 	}

@@ -2,7 +2,8 @@ package sjoin
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 
 	"spatialtf/internal/geom"
 	"spatialtf/internal/rtree"
@@ -30,6 +31,10 @@ type JoinFunction struct {
 	tabA, tabB *storage.Table
 	colA, colB int
 
+	// Decoded-geometry cache consulted by the secondary filter (nil when
+	// disabled). Shared across instances when Config.GeomCache is set.
+	cache *GeomCache
+
 	// Roots to traverse: the single (rootA, rootB) pair for the serial
 	// join, or this instance's share of the subtree-pair cross product
 	// for the parallel join.
@@ -44,6 +49,10 @@ type JoinFunction struct {
 	// Verified results not yet returned by fetch.
 	ready []Pair
 
+	// Plane-sweep scratch: the two entry lists of the current node pair,
+	// sorted by low x. Reused across node pairs to avoid allocation.
+	sweepA, sweepB []sweepEntry
+
 	// Statistics, reported through JoinStats.
 	stats JoinStats
 }
@@ -51,6 +60,14 @@ type JoinFunction struct {
 // nodePair is one unit of synchronized traversal.
 type nodePair struct {
 	a, b rtree.NodeRef
+}
+
+// sweepEntry is one node slot in plane-sweep order: its rectangle plus
+// the slot index it came from (to recover rowids/children after the
+// sort permutes the list).
+type sweepEntry struct {
+	xlo, xhi, ylo, yhi float64
+	idx                int32
 }
 
 // JoinStats counts the work a join did; benches report them.
@@ -72,6 +89,10 @@ type JoinStats struct {
 	// FastAccepts counts pairs proven intersecting from interior
 	// approximations alone, skipping the secondary filter entirely.
 	FastAccepts int
+	// CacheHits / CacheMisses count decoded-geometry cache lookups by
+	// the secondary filter (both zero when the cache is disabled).
+	CacheHits   int
+	CacheMisses int
 }
 
 // newJoinFn builds the function for the given root pairs.
@@ -84,12 +105,14 @@ func newJoinFn(a, b Source, cfg Config, roots []nodePair) (*JoinFunction, error)
 	if err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	return &JoinFunction{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		tabA:  a.Table,
 		tabB:  b.Table,
 		colA:  colA,
 		colB:  colB,
+		cache: cfg.resolveCache(),
 		roots: roots,
 	}, nil
 }
@@ -133,6 +156,8 @@ func (j *JoinFunction) Close() error {
 	j.stack = nil
 	j.cands = nil
 	j.ready = nil
+	j.sweepA = nil
+	j.sweepB = nil
 	return nil
 }
 
@@ -141,7 +166,10 @@ func (j *JoinFunction) Stats() JoinStats { return j.stats }
 
 // fillCandidates runs the synchronized R-tree traversal until the
 // candidate array reaches capacity or the stack empties — the primary
-// (index MBR) filter.
+// (index MBR) filter. Equal-height node pairs are intersected either by
+// a forward plane sweep over xlo-sorted entry lists (default, O(n log n
+// + output) instead of the O(n·m) nested scan) or by the nested scan
+// when the pair is small or Config.NestedPrimaryFilter is set.
 func (j *JoinFunction) fillCandidates() {
 	for len(j.stack) > 0 && len(j.cands) < j.cfg.CandidateCap {
 		top := j.stack[len(j.stack)-1]
@@ -152,42 +180,31 @@ func (j *JoinFunction) fillCandidates() {
 		fastAccept := j.cfg.UseInteriorApprox && j.cfg.Distance == 0 && j.cfg.Mask == geom.MaskAnyInteract
 		switch {
 		case a.IsLeaf() && b.IsLeaf():
-			for i := 0; i < a.NumEntries(); i++ {
-				ma := a.EntryMBR(i)
-				var ia geom.MBR
-				if fastAccept {
-					ia = a.EntryInterior(i)
-				}
-				for k := 0; k < b.NumEntries(); k++ {
-					mb := b.EntryMBR(k)
-					if !j.cfg.primaryAccepts(ma, mb) {
-						continue
-					}
-					if fastAccept {
-						ib := b.EntryInterior(k)
-						// Interior rectangles are subsets of the exact
-						// geometries, so any of these conditions proves
-						// intersection without a geometry fetch.
-						if (ia.Area() > 0 && ib.Area() > 0 && ia.Intersects(ib)) ||
-							(ia.Area() > 0 && ia.Contains(mb)) ||
-							(ib.Area() > 0 && ib.Contains(ma)) {
-							j.ready = append(j.ready, Pair{A: a.EntryID(i), B: b.EntryID(k)})
-							j.stats.Results++
-							j.stats.FastAccepts++
-							continue
+			if j.useSweep(a, b) {
+				j.sweepPair(a, b, func(ai, bi int) { j.emitLeafPair(a, b, ai, bi, fastAccept) })
+			} else {
+				for i := 0; i < a.NumEntries(); i++ {
+					ma := a.EntryMBR(i)
+					for k := 0; k < b.NumEntries(); k++ {
+						if j.cfg.primaryAccepts(ma, b.EntryMBR(k)) {
+							j.emitLeafPair(a, b, i, k, fastAccept)
 						}
 					}
-					j.cands = append(j.cands, Pair{A: a.EntryID(i), B: b.EntryID(k)})
-					j.stats.Candidates++
 				}
 			}
 		case !a.IsLeaf() && !b.IsLeaf():
 			// Descend both sides, pairing children whose MBRs interact.
-			for i := 0; i < a.NumEntries(); i++ {
-				ma := a.EntryMBR(i)
-				for k := 0; k < b.NumEntries(); k++ {
-					if j.cfg.primaryAccepts(ma, b.EntryMBR(k)) {
-						j.stack = append(j.stack, nodePair{a.Child(i), b.Child(k)})
+			if j.useSweep(a, b) {
+				j.sweepPair(a, b, func(ai, bi int) {
+					j.stack = append(j.stack, nodePair{a.Child(ai), b.Child(bi)})
+				})
+			} else {
+				for i := 0; i < a.NumEntries(); i++ {
+					ma := a.EntryMBR(i)
+					for k := 0; k < b.NumEntries(); k++ {
+						if j.cfg.primaryAccepts(ma, b.EntryMBR(k)) {
+							j.stack = append(j.stack, nodePair{a.Child(i), b.Child(k)})
+						}
 					}
 				}
 			}
@@ -208,15 +225,140 @@ func (j *JoinFunction) fillCandidates() {
 	}
 }
 
+// emitLeafPair routes one primary-filter survivor from a leaf×leaf node
+// pair: fast-accepted into the ready queue when the interior
+// approximations prove intersection, otherwise into the candidate array
+// for the secondary filter.
+func (j *JoinFunction) emitLeafPair(a, b rtree.NodeRef, ai, bi int, fastAccept bool) {
+	if fastAccept {
+		ia := a.EntryInterior(ai)
+		ib := b.EntryInterior(bi)
+		// Interior rectangles are subsets of the exact geometries, so
+		// any of these conditions proves intersection without a
+		// geometry fetch.
+		if (ia.Area() > 0 && ib.Area() > 0 && ia.Intersects(ib)) ||
+			(ia.Area() > 0 && ia.Contains(b.EntryMBR(bi))) ||
+			(ib.Area() > 0 && ib.Contains(a.EntryMBR(ai))) {
+			j.ready = append(j.ready, Pair{A: a.EntryID(ai), B: b.EntryID(bi)})
+			j.stats.Results++
+			j.stats.FastAccepts++
+			return
+		}
+	}
+	j.cands = append(j.cands, Pair{A: a.EntryID(ai), B: b.EntryID(bi)})
+	j.stats.Candidates++
+}
+
+// useSweep decides the intersection algorithm for an equal-height node
+// pair: plane sweep unless disabled or the pair is too small to
+// amortise the two sorts.
+func (j *JoinFunction) useSweep(a, b rtree.NodeRef) bool {
+	if j.cfg.NestedPrimaryFilter {
+		return false
+	}
+	return a.NumEntries()+b.NumEntries() >= j.cfg.SweepThreshold
+}
+
+// sweepPair runs a forward plane sweep over the entries of nodes a and
+// b, calling emit(ai, bi) once for every entry pair accepted by the
+// primary filter — the same pair set, in a different order, as the
+// nested scan. Both entry lists are copied into the reusable scratch
+// slices and sorted on low x; the sweep then advances through the two
+// lists in xlo order, and for each entry scans forward in the other
+// list while x intervals (expanded by the join distance) overlap,
+// checking y overlap per pair. For distance joins the x/y interval
+// tests are necessary but not sufficient (corner-to-corner distance
+// exceeds either axis gap), so survivors take the exact MBR-distance
+// check before emission.
+func (j *JoinFunction) sweepPair(a, b rtree.NodeRef, emit func(ai, bi int)) {
+	j.sweepA = fillSweep(j.sweepA, a)
+	j.sweepB = fillSweep(j.sweepB, b)
+	d := j.cfg.Distance
+	ea, eb := j.sweepA, j.sweepB
+	i, k := 0, 0
+	for i < len(ea) && k < len(eb) {
+		if ea[i].xlo <= eb[k].xlo {
+			e := ea[i]
+			xmax := e.xhi + d
+			ylo, yhi := e.ylo-d, e.yhi+d
+			for kk := k; kk < len(eb) && eb[kk].xlo <= xmax; kk++ {
+				o := eb[kk]
+				if o.ylo > yhi || o.yhi < ylo {
+					continue
+				}
+				if d > 0 && !sweepDistOK(e, o, d) {
+					continue
+				}
+				emit(int(e.idx), int(o.idx))
+			}
+			i++
+		} else {
+			e := eb[k]
+			xmax := e.xhi + d
+			ylo, yhi := e.ylo-d, e.yhi+d
+			for ii := i; ii < len(ea) && ea[ii].xlo <= xmax; ii++ {
+				o := ea[ii]
+				if o.ylo > yhi || o.yhi < ylo {
+					continue
+				}
+				if d > 0 && !sweepDistOK(o, e, d) {
+					continue
+				}
+				emit(int(o.idx), int(e.idx))
+			}
+			k++
+		}
+	}
+}
+
+// fillSweep copies a node's structure-of-arrays rectangles into the
+// scratch list and sorts it by low x for the sweep.
+func fillSweep(dst []sweepEntry, r rtree.NodeRef) []sweepEntry {
+	xlo, ylo, xhi, yhi := r.EntryRects()
+	dst = dst[:0]
+	for i := range xlo {
+		dst = append(dst, sweepEntry{xlo: xlo[i], xhi: xhi[i], ylo: ylo[i], yhi: yhi[i], idx: int32(i)})
+	}
+	slices.SortFunc(dst, func(a, b sweepEntry) int {
+		switch {
+		case a.xlo < b.xlo:
+			return -1
+		case a.xlo > b.xlo:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return dst
+}
+
+// sweepDistOK is the exact distance-join acceptance on sweep entries:
+// the rectangle distance (diagonal across both axis gaps, matching
+// geom.MBR.Dist) is within d.
+func sweepDistOK(a, b sweepEntry, d float64) bool {
+	dx := math.Max(0, math.Max(b.xlo-a.xhi, a.xlo-b.xhi))
+	dy := math.Max(0, math.Max(b.ylo-a.yhi, a.ylo-b.yhi))
+	if dx == 0 {
+		return dy <= d
+	}
+	if dy == 0 {
+		return dx <= d
+	}
+	return math.Hypot(dx, dy) <= d
+}
+
 // secondaryFilter drains the candidate array: fetch exact geometries and
 // keep pairs satisfying the exact predicate. Per §4.2 the candidates are
 // sorted on the first rowid before fetching (Shekhar et al. show optimal
 // fetch order is NP-complete and rowid-sort is within ~20% of the best
 // approximations); sorting also lets consecutive candidates sharing the
-// first rowid reuse one fetched geometry.
+// first rowid reuse one fetched geometry. Fetches on both sides go
+// through the decoded-geometry cache, so repeated rowids — across
+// candidate batches, join sides of a self-join, or parallel instances
+// sharing a cache — skip the base-table decode entirely.
 func (j *JoinFunction) secondaryFilter() error {
 	if j.cfg.SortCandidates {
-		sort.Slice(j.cands, func(i, k int) bool { return j.cands[i].Less(j.cands[k]) })
+		slices.SortFunc(j.cands, comparePairs)
 	}
 	var (
 		curID   storage.RowID
@@ -225,25 +367,41 @@ func (j *JoinFunction) secondaryFilter() error {
 	)
 	for _, p := range j.cands {
 		if !haveCur || curID != p.A {
-			v, err := j.tabA.FetchColumn(p.A, j.colA)
+			g, err := j.fetchGeom(j.tabA, j.colA, p.A)
 			if err != nil {
-				return fmt.Errorf("sjoin: fetch %v from %q: %w", p.A, j.tabA.Name(), err)
+				return err
 			}
-			curID, curGeom, haveCur = p.A, v.G, true
-			j.stats.GeomFetches++
+			curID, curGeom, haveCur = p.A, g, true
 		}
-		v, err := j.tabB.FetchColumn(p.B, j.colB)
+		gb, err := j.fetchGeom(j.tabB, j.colB, p.B)
 		if err != nil {
-			return fmt.Errorf("sjoin: fetch %v from %q: %w", p.B, j.tabB.Name(), err)
+			return err
 		}
-		j.stats.GeomFetches++
-		if j.cfg.secondaryAccepts(curGeom, v.G) {
+		if j.cfg.secondaryAccepts(curGeom, gb) {
 			j.ready = append(j.ready, p)
 			j.stats.Results++
 		}
 	}
 	j.cands = j.cands[:0]
 	return nil
+}
+
+// fetchGeom resolves one geometry for the secondary filter through the
+// cache, maintaining the fetch and cache counters.
+func (j *JoinFunction) fetchGeom(tab *storage.Table, col int, id storage.RowID) (geom.Geometry, error) {
+	g, hit, err := cachedFetch(j.cache, tab, col, id)
+	if err != nil {
+		return geom.Geometry{}, fmt.Errorf("sjoin: fetch %v from %q: %w", id, tab.Name(), err)
+	}
+	if hit {
+		j.stats.CacheHits++
+		return g, nil
+	}
+	j.stats.GeomFetches++
+	if j.cache != nil {
+		j.stats.CacheMisses++
+	}
+	return g, nil
 }
 
 // IndexJoin evaluates the spatial join of a and b through a single

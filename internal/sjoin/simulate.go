@@ -32,6 +32,9 @@ type SimResult struct {
 // multi-processor simulator with the given degree of parallelism.
 func SimulateParallelIndexJoin(a, b Source, cfg Config, workers int) (SimResult, error) {
 	cfg = cfg.withDefaults()
+	// One cache across the simulated instances, matching the shared
+	// cache of the goroutine-parallel execution.
+	cfg.GeomCache = cfg.resolveCache()
 	if workers < 1 {
 		workers = 1
 	}
@@ -86,9 +89,13 @@ func SimulateParallelIndexJoin(a, b Source, cfg Config, workers int) (SimResult,
 		}
 		s := fn.Stats()
 		res.Stats.NodePairsVisited += s.NodePairsVisited
+		res.Stats.NodeAccesses += s.NodeAccesses
 		res.Stats.Candidates += s.Candidates
 		res.Stats.Results += s.Results
 		res.Stats.GeomFetches += s.GeomFetches
+		res.Stats.FastAccepts += s.FastAccepts
+		res.Stats.CacheHits += s.CacheHits
+		res.Stats.CacheMisses += s.CacheMisses
 	}
 	return res, nil
 }

@@ -18,7 +18,7 @@ package sjoin
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"spatialtf/internal/geom"
 	"spatialtf/internal/rtree"
@@ -38,6 +38,16 @@ func (p Pair) Less(q Pair) bool {
 		return c < 0
 	}
 	return p.B.Less(q.B)
+}
+
+// comparePairs is the (A, B) ordering as a slices.SortFunc comparator.
+// The concrete comparator avoids the per-call interface indirection of
+// sort.Slice on the candidate-sort hot path.
+func comparePairs(p, q Pair) int {
+	if c := p.A.Compare(q.A); c != 0 {
+		return c
+	}
+	return p.B.Compare(q.B)
 }
 
 // Source names one join operand: the base table, its geometry column,
@@ -95,12 +105,37 @@ type Config struct {
 	// Only applies to ANYINTERACT joins (Distance == 0) on indexes
 	// built with interior approximations; a no-op otherwise.
 	UseInteriorApprox bool
+	// NestedPrimaryFilter forces the primary filter back to the nested
+	// entry-pair scan. Default (false) uses the forward plane sweep over
+	// xlo-sorted entry lists whenever a node pair is large enough; this
+	// knob is the ablation baseline.
+	NestedPrimaryFilter bool
+	// SweepThreshold is the minimum combined entry count of a node pair
+	// for the plane sweep to engage (0 = DefaultSweepThreshold). Below
+	// it, sorting costs more than the quadratic scan saves.
+	SweepThreshold int
+	// GeomCacheBytes bounds the decoded-geometry cache of the secondary
+	// filter in bytes (0 = DefaultGeomCacheBytes; negative disables the
+	// cache). Ignored when GeomCache is set.
+	GeomCacheBytes int
+	// GeomCache, when non-nil, is a shared cache instance used instead
+	// of a join-private one — the facade shares one cache per database
+	// so parallel instances and successive joins reuse decodes.
+	GeomCache *GeomCache
 }
+
+// DefaultSweepThreshold is the combined entry count below which the
+// plane sweep falls back to the nested scan: two sorts plus merge
+// bookkeeping only pay off once the pair has a few dozen entries.
+const DefaultSweepThreshold = 16
 
 // withDefaults normalises a config.
 func (c Config) withDefaults() Config {
 	if c.CandidateCap <= 0 {
 		c.CandidateCap = DefaultCandidateCap
+	}
+	if c.SweepThreshold <= 0 {
+		c.SweepThreshold = DefaultSweepThreshold
 	}
 	return c
 }
@@ -175,5 +210,5 @@ func CollectPairs(c storage.Cursor) ([]Pair, error) {
 
 // SortPairs orders pairs by (A, B) for deterministic comparison.
 func SortPairs(pairs []Pair) {
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+	slices.SortFunc(pairs, comparePairs)
 }

@@ -1,0 +1,281 @@
+package sjoin
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+// collect runs the pipelined index join under cfg and returns the
+// sorted result pairs.
+func collect(t *testing.T, a, b Source, cfg Config) []Pair {
+	t.Helper()
+	cur, err := IndexJoin(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := CollectPairs(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(pairs)
+	return pairs
+}
+
+// TestSweepMatchesNestedPrimaryFilter is the differential test for the
+// plane-sweep primary filter: across uniform (counties), clustered
+// (stars), and skewed (block groups) data, with and without a join
+// distance, the sweep and the nested entry-pair scan must produce
+// identical result sets. SweepThreshold 1 forces the sweep onto every
+// node pair, including the small ones the default threshold would skip.
+func TestSweepMatchesNestedPrimaryFilter(t *testing.T) {
+	uniform := buildSource(t, "t_uniform", datagen.Counties(300, 11))
+	clustered := buildSource(t, "t_clustered", datagen.Stars(800, 12))
+	skewed := buildSource(t, "t_skewed", datagen.BlockGroups(250, 13))
+
+	cases := []struct {
+		name string
+		a, b Source
+	}{
+		{"uniform_self", uniform, uniform},
+		{"clustered_self", clustered, clustered},
+		{"skewed_self", skewed, skewed},
+		{"uniform_x_clustered", uniform, clustered},
+		{"clustered_x_skewed", clustered, skewed},
+	}
+	for _, tc := range cases {
+		for _, dist := range []float64{0, 10} {
+			t.Run(fmt.Sprintf("%s/dist=%g", tc.name, dist), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Distance = dist
+
+				sweep := cfg
+				sweep.SweepThreshold = 1
+				got := collect(t, tc.a, tc.b, sweep)
+
+				nested := cfg
+				nested.NestedPrimaryFilter = true
+				want := collect(t, tc.a, tc.b, nested)
+
+				if !pairsEqual(got, want) {
+					t.Fatalf("sweep produced %d pairs, nested %d; result sets differ", len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestSweepMatchesNestedParallel checks the same equivalence through
+// the parallel subtree-pair path: each instance runs the sweep on its
+// own share of the decomposition, and the merged result must match the
+// nested-scan parallel join pair for pair.
+func TestSweepMatchesNestedParallel(t *testing.T) {
+	a := buildSource(t, "p_stars", datagen.Stars(900, 21))
+	b := buildSource(t, "p_counties", datagen.Counties(250, 22))
+	for _, workers := range []int{2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sweep := DefaultConfig()
+			sweep.SweepThreshold = 1
+			cs, err := ParallelIndexJoin(a, b, sweep, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CollectPairs(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			nested := DefaultConfig()
+			nested.NestedPrimaryFilter = true
+			cn, err := ParallelIndexJoin(a, b, nested, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := CollectPairs(cn)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			SortPairs(got)
+			SortPairs(want)
+			if !pairsEqual(got, want) {
+				t.Fatalf("parallel sweep produced %d pairs, nested %d; result sets differ", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestSweepThresholdFallback pins the threshold semantics: a threshold
+// above any node's entry count degrades to the nested scan and still
+// matches the default configuration's results.
+func TestSweepThresholdFallback(t *testing.T) {
+	src := buildSource(t, "thresh_stars", datagen.Stars(600, 31))
+	def := collect(t, src, src, DefaultConfig())
+
+	high := DefaultConfig()
+	high.SweepThreshold = 1 << 20
+	got := collect(t, src, src, high)
+	if !pairsEqual(got, def) {
+		t.Fatalf("high-threshold join produced %d pairs, default %d", len(got), len(def))
+	}
+}
+
+// TestGeomCacheOnOffIdentical is the cache differential: results must
+// be identical with the cache disabled, private, or shared, and the
+// cached run must not fetch more base-table geometries than the
+// uncached one.
+func TestGeomCacheOnOffIdentical(t *testing.T) {
+	a := buildSource(t, "c_stars", datagen.Stars(700, 41))
+	b := buildSource(t, "c_blocks", datagen.BlockGroups(400, 42))
+
+	run := func(cfg Config) ([]Pair, JoinStats) {
+		fn, err := NewJoinFunction(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer fn.Close()
+		var pairs []Pair
+		for {
+			rows, err := fn.Fetch(512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) == 0 {
+				break
+			}
+			for _, row := range rows {
+				p, err := PairFromRow(row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pairs = append(pairs, p)
+			}
+		}
+		SortPairs(pairs)
+		return pairs, fn.Stats()
+	}
+
+	off := DefaultConfig()
+	off.GeomCacheBytes = -1
+	pOff, sOff := run(off)
+	if sOff.CacheHits != 0 || sOff.CacheMisses != 0 {
+		t.Fatalf("disabled cache recorded lookups: %+v", sOff)
+	}
+
+	on := DefaultConfig()
+	pOn, sOn := run(on)
+	if !pairsEqual(pOn, pOff) {
+		t.Fatalf("cache-on join produced %d pairs, cache-off %d", len(pOn), len(pOff))
+	}
+	if sOn.CacheHits == 0 {
+		t.Fatalf("cache-on join recorded no hits: %+v", sOn)
+	}
+	if sOn.GeomFetches > sOff.GeomFetches {
+		t.Fatalf("cache-on fetched %d geometries, cache-off only %d", sOn.GeomFetches, sOff.GeomFetches)
+	}
+	if sOn.GeomFetches != sOn.CacheMisses {
+		t.Fatalf("cached fetches (%d) and misses (%d) disagree", sOn.GeomFetches, sOn.CacheMisses)
+	}
+
+	shared := DefaultConfig()
+	shared.GeomCache = NewGeomCache(0)
+	pShared, _ := run(shared)
+	if !pairsEqual(pShared, pOff) {
+		t.Fatalf("shared-cache join produced %d pairs, cache-off %d", len(pShared), len(pOff))
+	}
+	// A second join through the now-warm shared cache: same results,
+	// and (cache larger than both datasets) no base-table fetches at all.
+	pWarm, sWarm := run(shared)
+	if !pairsEqual(pWarm, pOff) {
+		t.Fatalf("warm shared-cache join produced %d pairs, cache-off %d", len(pWarm), len(pOff))
+	}
+	if sWarm.GeomFetches != 0 {
+		t.Fatalf("warm shared cache still fetched %d geometries", sWarm.GeomFetches)
+	}
+}
+
+// TestGeomCacheEviction exercises the LRU bound directly: a tiny cache
+// must stay within budget, keep recently used entries, and evict stale
+// ones.
+func TestGeomCacheEviction(t *testing.T) {
+	src := buildSource(t, "ev_counties", datagen.Counties(200, 51))
+	col, err := src.geomColumn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []storage.RowID
+	var geoms []geom.Geometry
+	src.Table.Scan(func(id storage.RowID, row storage.Row) bool {
+		ids = append(ids, id)
+		geoms = append(geoms, row[col].G)
+		return true
+	})
+
+	perEntry := geomSizeBytes(geoms[0])
+	// Budget for roughly 3 entries per shard.
+	c := NewGeomCache(perEntry * 3 * geomCacheShards)
+	for i, id := range ids {
+		c.Put(src.Table, id, geoms[i])
+	}
+	st := c.Stats()
+	if st.Entries == 0 || st.Entries >= int64(len(ids)) {
+		t.Fatalf("expected partial residency, have %d of %d entries", st.Entries, len(ids))
+	}
+	if st.Bytes > int64(perEntry*4*geomCacheShards) {
+		t.Fatalf("cache overflows budget: %d bytes resident", st.Bytes)
+	}
+
+	// The most recently inserted id must be resident; re-putting and
+	// touching it keeps it resident while others churn.
+	last := ids[len(ids)-1]
+	if _, ok := c.Get(src.Table, last); !ok {
+		t.Fatalf("most recent entry evicted")
+	}
+	for i := 0; i < len(ids)-1; i++ {
+		c.Put(src.Table, ids[i], geoms[i])
+		if _, ok := c.Get(src.Table, last); !ok {
+			// last shares a shard with churning entries only if hashes
+			// collide; touching it via Get above refreshes recency, so
+			// it must survive a churn of <= 2 entries per round.
+			t.Fatalf("recently touched entry evicted during churn (round %d)", i)
+		}
+	}
+
+	hitsBefore := c.Stats().Hits
+	if _, ok := c.Get(src.Table, last); !ok {
+		t.Fatalf("expected hit on resident entry")
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatalf("hit counter did not advance")
+	}
+}
+
+// TestQuadtreeJoinCacheIdentical covers the second index kind: the tile
+// merge join must return the same pairs with the cache disabled and
+// enabled.
+func TestQuadtreeJoinCacheIdentical(t *testing.T) {
+	qa, _ := buildQSource(t, "qc_a", datagen.Counties(150, 61), 7)
+	qb, _ := buildQSource(t, "qc_b", datagen.Stars(300, 62), 7)
+
+	off := DefaultConfig()
+	off.GeomCacheBytes = -1
+	pOff, err := QuadtreeJoin(qa, qb, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOn, err := QuadtreeJoin(qa, qb, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(pOff)
+	SortPairs(pOn)
+	if !pairsEqual(pOn, pOff) {
+		t.Fatalf("quadtree cache-on join produced %d pairs, cache-off %d", len(pOn), len(pOff))
+	}
+}

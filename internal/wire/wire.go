@@ -438,6 +438,12 @@ type Stats struct {
 	// FetchNanos is total time spent producing fetch batches; divide by
 	// Fetches for the mean fetch latency.
 	FetchNanos int64
+	// Decoded-geometry cache of the served database: lookup outcomes
+	// over the server lifetime and current residency.
+	GeomCacheHits    int64
+	GeomCacheMisses  int64
+	GeomCacheBytes   int64
+	GeomCacheEntries int64
 }
 
 // AppendStats encodes a Stats payload.
@@ -447,6 +453,7 @@ func AppendStats(dst []byte, s Stats) []byte {
 		s.ConnsAccepted, s.ConnsRejected, s.ConnsActive,
 		s.CursorsOpened, s.CursorsOpen,
 		s.Queries, s.Errors, s.RowsStreamed, s.Fetches, s.FetchNanos,
+		s.GeomCacheHits, s.GeomCacheMisses, s.GeomCacheBytes, s.GeomCacheEntries,
 	} {
 		p.u64(uint64(v))
 	}
@@ -461,6 +468,7 @@ func ParseStats(b []byte) (Stats, error) {
 		&s.ConnsAccepted, &s.ConnsRejected, &s.ConnsActive,
 		&s.CursorsOpened, &s.CursorsOpen,
 		&s.Queries, &s.Errors, &s.RowsStreamed, &s.Fetches, &s.FetchNanos,
+		&s.GeomCacheHits, &s.GeomCacheMisses, &s.GeomCacheBytes, &s.GeomCacheEntries,
 	} {
 		v, err := p.u64()
 		if err != nil {

@@ -37,7 +37,23 @@ type JoinOptions struct {
 	// on ANYINTERACT joins over indexes created with
 	// IndexOptions.InteriorEffort > 0.
 	UseInteriorApprox bool
+	// NestedPrimaryFilter forces the nested entry-pair scan in the
+	// primary filter instead of the default plane sweep (ablation
+	// switch).
+	NestedPrimaryFilter bool
+	// SweepThreshold is the minimum combined entry count of a node pair
+	// for the plane sweep to engage (0 = default).
+	SweepThreshold int
+	// GeomCacheBytes selects the decoded-geometry cache the secondary
+	// filter fetches through: 0 (default) shares the database-wide
+	// cache, > 0 gives this join a private cache of that byte size, and
+	// < 0 disables caching (ablation switch).
+	GeomCacheBytes int
 }
+
+// CacheStats summarises the decoded-geometry cache (see
+// DB.GeomCacheStats).
+type CacheStats = sjoin.CacheStats
 
 func (o JoinOptions) config() (sjoin.Config, error) {
 	cfg := sjoin.DefaultConfig()
@@ -52,7 +68,30 @@ func (o JoinOptions) config() (sjoin.Config, error) {
 	cfg.CandidateCap = o.CandidateCap
 	cfg.SortCandidates = !o.NoSortCandidates
 	cfg.UseInteriorApprox = o.UseInteriorApprox
+	cfg.NestedPrimaryFilter = o.NestedPrimaryFilter
+	cfg.SweepThreshold = o.SweepThreshold
+	cfg.GeomCacheBytes = o.GeomCacheBytes
 	return cfg, nil
+}
+
+// joinConfig resolves JoinOptions against this database: the default
+// cache selection (GeomCacheBytes == 0) binds the join to the shared
+// per-database cache.
+func (db *DB) joinConfig(opt JoinOptions) (sjoin.Config, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return cfg, err
+	}
+	if opt.GeomCacheBytes == 0 {
+		cfg.GeomCache = db.geomCache
+	}
+	return cfg, nil
+}
+
+// GeomCacheStats reports the hit/miss counters and residency of the
+// database-wide decoded-geometry cache.
+func (db *DB) GeomCacheStats() CacheStats {
+	return db.geomCache.Stats()
 }
 
 // joinSource resolves (table, index) into an sjoin operand.
@@ -145,7 +184,7 @@ func (jc *JoinCursor) Collect() ([]Pair, error) {
 // indexed tables through the spatial_join table function, pipelined
 // (Parallel ≤ 1) or parallel over subtree pairs (Parallel > 1).
 func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) (*JoinCursor, error) {
-	cfg, err := opt.config()
+	cfg, err := db.joinConfig(opt)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +216,7 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 // the number of scheduled and MBR-pruned subtree-pair tasks. It is the
 // EXPLAIN PLAN of the spatial_join table function.
 func (db *DB) ExplainJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) (string, error) {
-	cfg, err := opt.config()
+	cfg, err := db.joinConfig(opt)
 	if err != nil {
 		return "", err
 	}
@@ -201,6 +240,23 @@ func (db *DB) ExplainJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 		tableB, indexB, b.Tree.Len(), b.Tree.Height(), b.Tree.MaxEntries())
 	fmt.Fprintf(&sb, "  two-stage evaluation: candidate array cap %d, secondary filter fetch order %s\n",
 		cfg.CandidateCap, map[bool]string{true: "sorted by first rowid", false: "arrival order"}[cfg.SortCandidates])
+	if cfg.NestedPrimaryFilter {
+		sb.WriteString("  primary filter: nested entry-pair scan\n")
+	} else {
+		thr := cfg.SweepThreshold
+		if thr <= 0 {
+			thr = sjoin.DefaultSweepThreshold
+		}
+		fmt.Fprintf(&sb, "  primary filter: plane sweep (node pairs with >= %d entries), nested scan below\n", thr)
+	}
+	switch {
+	case cfg.GeomCache != nil:
+		sb.WriteString("  decoded-geometry cache: shared per-database\n")
+	case cfg.GeomCacheBytes < 0:
+		sb.WriteString("  decoded-geometry cache: disabled\n")
+	default:
+		fmt.Fprintf(&sb, "  decoded-geometry cache: private, %d bytes\n", cfg.GeomCacheBytes)
+	}
 	if cfg.UseInteriorApprox {
 		sb.WriteString("  interior-approximation fast accept: enabled\n")
 	}
@@ -223,7 +279,7 @@ func (db *DB) ExplainJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 // NestedLoopJoin evaluates the same join with the pre-9i baseline
 // strategy (per-row index probes), the comparison point of Tables 1-2.
 func (db *DB) NestedLoopJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) ([]Pair, error) {
-	cfg, err := opt.config()
+	cfg, err := db.joinConfig(opt)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +297,7 @@ func (db *DB) NestedLoopJoin(tableA, indexA, tableB, indexB string, opt JoinOpti
 // QuadtreeJoin evaluates a join over two Quadtree-indexed tables with
 // the tile merge join (extension; intersection-style masks only).
 func (db *DB) QuadtreeJoin(tableA, indexA, tableB, indexB string, opt JoinOptions) ([]Pair, error) {
-	cfg, err := opt.config()
+	cfg, err := db.joinConfig(opt)
 	if err != nil {
 		return nil, err
 	}

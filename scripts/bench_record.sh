@@ -1,0 +1,22 @@
+#!/bin/sh
+# Runs the full benchmark sweep and records the results as NDJSON in
+# BENCH_pr2.json (one `go test -json` event per line, benchmark output
+# events only). Dependency-free: POSIX sh + grep. Compare two recordings
+# with e.g.
+#
+#   grep -o '"Output":"Benchmark[^"]*' BENCH_pr2.json
+#
+# or any JSON-aware tool.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_pr2.json
+
+: >"$out"
+# -json wraps each line of benchmark output in a TestEvent; keep the
+# events that carry benchmark results (name line, metrics line) and the
+# per-package summaries, drop the noise.
+go test -run NONE -bench . -benchmem -benchtime 1x -count 1 -json ./... |
+	grep -e '"Output":"Benchmark' -e '"Output":"ok' >>"$out"
+
+echo "wrote $out ($(wc -l <"$out") result lines)"

@@ -28,6 +28,7 @@ import (
 
 	"spatialtf/internal/extidx"
 	"spatialtf/internal/geom"
+	"spatialtf/internal/sjoin"
 	"spatialtf/internal/storage"
 )
 
@@ -107,6 +108,12 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	reg    *extidx.Registry
+
+	// geomCache is the database-wide decoded-geometry cache the spatial
+	// joins fetch through (heap rowids are never reused, so entries
+	// cannot go stale). Shared across joins, parallel instances, and
+	// index kinds.
+	geomCache *sjoin.GeomCache
 }
 
 // Open returns an empty database with the RTREE and QUADTREE indextypes
@@ -114,7 +121,11 @@ type DB struct {
 func Open() *DB {
 	reg := extidx.NewRegistry()
 	extidx.RegisterDefaultKinds(reg)
-	return &DB{tables: make(map[string]*Table), reg: reg}
+	return &DB{
+		tables:    make(map[string]*Table),
+		reg:       reg,
+		geomCache: sjoin.NewGeomCache(0),
+	}
 }
 
 // Table is a handle on a database table.
