@@ -18,12 +18,14 @@ const DefaultGeomCacheBytes = 8 << 20
 const geomCacheShards = 16
 
 // GeomCache is a bounded, sharded LRU of decoded geometries keyed by
-// (table, rowid). The join's secondary filter fetches exact geometries
-// through it, so the sorted candidate drain stops re-decoding the same
-// base-table row: a rowid whose geometry was decoded for one candidate
-// batch (or by the other join operand of a self-join) is served from
-// memory. Rowids are never reused by the heap (deletes tombstone), so a
-// cached entry can never go stale.
+// (table, column, rowid). The join's secondary filter fetches exact
+// geometries through it, so the sorted candidate drain stops re-decoding
+// the same base-table cell: a cell whose geometry was decoded for one
+// candidate batch (or by the other join operand of a self-join) is
+// served from memory. The column is part of the key because a table may
+// carry several GEOMETRY columns, each independently indexable. Rowids
+// are never reused by the heap (deletes tombstone), so a cached entry
+// can never go stale.
 //
 // All methods are safe for concurrent use; a cache may be shared across
 // joins, join instances, and index kinds (the R-tree and quadtree joins
@@ -34,9 +36,10 @@ type GeomCache struct {
 	misses atomic.Int64
 }
 
-// geomKey identifies one cached geometry.
+// geomKey identifies one cached geometry: a geometry-typed cell.
 type geomKey struct {
 	tab *storage.Table
+	col int
 	id  storage.RowID
 }
 
@@ -81,13 +84,13 @@ func NewGeomCache(maxBytes int) *GeomCache {
 // shardFor picks the shard of a key. Rowids are (page, slot); pages are
 // sequential, so a multiplicative hash spreads neighbouring pages.
 func (c *GeomCache) shardFor(k geomKey) *geomShard {
-	h := (uint64(k.id.Page)*0x9E3779B97F4A7C15 + uint64(k.id.Slot)) >> 32
+	h := ((uint64(k.id.Page)+uint64(k.col)<<24)*0x9E3779B97F4A7C15 + uint64(k.id.Slot)) >> 32
 	return &c.shards[h%geomCacheShards]
 }
 
-// Get returns the cached geometry for (tab, id), if present.
-func (c *GeomCache) Get(tab *storage.Table, id storage.RowID) (geom.Geometry, bool) {
-	k := geomKey{tab: tab, id: id}
+// Get returns the cached geometry of column col of (tab, id), if present.
+func (c *GeomCache) Get(tab *storage.Table, col int, id storage.RowID) (geom.Geometry, bool) {
+	k := geomKey{tab: tab, col: col, id: id}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.entries[k]
@@ -103,11 +106,13 @@ func (c *GeomCache) Get(tab *storage.Table, id storage.RowID) (geom.Geometry, bo
 	return g, true
 }
 
-// Put stores the decoded geometry of (tab, id), evicting least-recently
-// used entries if the shard overflows its byte budget. Geometries larger
-// than the whole shard budget are not cached.
-func (c *GeomCache) Put(tab *storage.Table, id storage.RowID, g geom.Geometry) {
-	k := geomKey{tab: tab, id: id}
+// Put stores the decoded geometry of column col of (tab, id), evicting
+// least-recently used entries if the shard overflows its byte budget.
+// Geometries larger than the whole shard budget are not cached. A re-put
+// of a resident key replaces the stored geometry rather than assuming the
+// caller passed identical data.
+func (c *GeomCache) Put(tab *storage.Table, col int, id storage.RowID, g geom.Geometry) {
+	k := geomKey{tab: tab, col: col, id: id}
 	size := geomSizeBytes(g)
 	s := c.shardFor(k)
 	if size > s.maxBytes {
@@ -116,15 +121,15 @@ func (c *GeomCache) Put(tab *storage.Table, id storage.RowID, g geom.Geometry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[k]; ok {
-		// Rowids are immutable, so a re-put stores the same geometry;
-		// just refresh recency.
+		s.curBytes += size - e.size
+		e.g, e.size = g, size
 		s.moveToFront(e)
-		return
+	} else {
+		e := &geomEntry{key: k, g: g, size: size}
+		s.entries[k] = e
+		s.pushFront(e)
+		s.curBytes += size
 	}
-	e := &geomEntry{key: k, g: g, size: size}
-	s.entries[k] = e
-	s.pushFront(e)
-	s.curBytes += size
 	for s.curBytes > s.maxBytes && s.tail != nil {
 		s.evict(s.tail)
 	}
@@ -228,7 +233,7 @@ func (c Config) resolveCache() *GeomCache {
 // was avoided.
 func cachedFetch(cache *GeomCache, tab *storage.Table, col int, id storage.RowID) (g geom.Geometry, hit bool, err error) {
 	if cache != nil {
-		if g, ok := cache.Get(tab, id); ok {
+		if g, ok := cache.Get(tab, col, id); ok {
 			return g, true, nil
 		}
 	}
@@ -237,7 +242,7 @@ func cachedFetch(cache *GeomCache, tab *storage.Table, col int, id storage.RowID
 		return geom.Geometry{}, false, err
 	}
 	if cache != nil {
-		cache.Put(tab, id, v.G)
+		cache.Put(tab, col, id, v.G)
 	}
 	return v.G, false, nil
 }

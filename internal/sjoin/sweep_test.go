@@ -6,6 +6,7 @@ import (
 
 	"spatialtf/internal/datagen"
 	"spatialtf/internal/geom"
+	"spatialtf/internal/idxbuild"
 	"spatialtf/internal/storage"
 )
 
@@ -200,6 +201,95 @@ func TestGeomCacheOnOffIdentical(t *testing.T) {
 	}
 }
 
+// TestGeomCacheMultiColumn pins the cache key down to the column: a
+// table with two GEOMETRY columns joined through one shared cache must
+// never be served the other column's geometry for the same rowid.
+func TestGeomCacheMultiColumn(t *testing.T) {
+	dsA := datagen.Counties(200, 71)
+	dsB := datagen.Stars(200, 72)
+	n := len(dsA.Geoms)
+	if len(dsB.Geoms) < n {
+		n = len(dsB.Geoms)
+	}
+	tab, err := storage.NewTable("mc_two_geoms", []storage.Column{
+		{Name: "id", Type: storage.TInt64},
+		{Name: "g_a", Type: storage.TGeometry},
+		{Name: "g_b", Type: storage.TGeometry},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first storage.RowID
+	for i := 0; i < n; i++ {
+		id, err := tab.Insert(storage.Row{
+			storage.Int(int64(i)),
+			storage.Geom(dsA.Geoms[i]),
+			storage.Geom(dsB.Geoms[i]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = id
+		}
+	}
+	treeA, _, err := idxbuild.CreateRtree(tab, "g_a", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeB, _, err := idxbuild.CreateRtree(tab, "g_b", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcA := Source{Table: tab, Column: "g_a", Tree: treeA}
+	srcB := Source{Table: tab, Column: "g_b", Tree: treeB}
+
+	// Direct check: the two columns of one row are distinct entries.
+	colA, err := srcA.geomColumn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB, err := srcB.geomColumn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGeomCache(0)
+	c.Put(tab, colA, first, dsA.Geoms[0])
+	c.Put(tab, colB, first, dsB.Geoms[0])
+	gA, okA := c.Get(tab, colA, first)
+	gB, okB := c.Get(tab, colB, first)
+	if !okA || !okB {
+		t.Fatalf("per-column entries not resident: g_a=%v g_b=%v", okA, okB)
+	}
+	if !gA.Equal(dsA.Geoms[0]) || !gB.Equal(dsB.Geoms[0]) {
+		t.Fatalf("cache returned the wrong column's geometry")
+	}
+
+	// Ground truth with caching disabled, then the same joins through
+	// one shared cache: the g_a join warms every rowid, and the g_b
+	// join over the same rowids must still fetch g_b geometries.
+	off := DefaultConfig()
+	off.GeomCacheBytes = -1
+	probe := buildSource(t, "mc_probe", datagen.Counties(150, 73))
+	wantA := collect(t, srcA, probe, off)
+	wantB := collect(t, srcB, probe, off)
+	wantSelf := collect(t, srcA, srcB, off)
+
+	shared := DefaultConfig()
+	shared.GeomCache = NewGeomCache(0)
+	if got := collect(t, srcA, probe, shared); !pairsEqual(got, wantA) {
+		t.Fatalf("g_a join through shared cache produced %d pairs, uncached %d", len(got), len(wantA))
+	}
+	if got := collect(t, srcB, probe, shared); !pairsEqual(got, wantB) {
+		t.Fatalf("g_b join through warm shared cache produced %d pairs, uncached %d", len(got), len(wantB))
+	}
+	// A single join can also collide with itself: g_a against g_b of
+	// the same table shares one private cache across both operands.
+	if got := collect(t, srcA, srcB, DefaultConfig()); !pairsEqual(got, wantSelf) {
+		t.Fatalf("g_a x g_b self-table join produced %d pairs, uncached %d", len(got), len(wantSelf))
+	}
+}
+
 // TestGeomCacheEviction exercises the LRU bound directly: a tiny cache
 // must stay within budget, keep recently used entries, and evict stale
 // ones.
@@ -221,7 +311,7 @@ func TestGeomCacheEviction(t *testing.T) {
 	// Budget for roughly 3 entries per shard.
 	c := NewGeomCache(perEntry * 3 * geomCacheShards)
 	for i, id := range ids {
-		c.Put(src.Table, id, geoms[i])
+		c.Put(src.Table, col, id, geoms[i])
 	}
 	st := c.Stats()
 	if st.Entries == 0 || st.Entries >= int64(len(ids)) {
@@ -234,12 +324,12 @@ func TestGeomCacheEviction(t *testing.T) {
 	// The most recently inserted id must be resident; re-putting and
 	// touching it keeps it resident while others churn.
 	last := ids[len(ids)-1]
-	if _, ok := c.Get(src.Table, last); !ok {
+	if _, ok := c.Get(src.Table, col, last); !ok {
 		t.Fatalf("most recent entry evicted")
 	}
 	for i := 0; i < len(ids)-1; i++ {
-		c.Put(src.Table, ids[i], geoms[i])
-		if _, ok := c.Get(src.Table, last); !ok {
+		c.Put(src.Table, col, ids[i], geoms[i])
+		if _, ok := c.Get(src.Table, col, last); !ok {
 			// last shares a shard with churning entries only if hashes
 			// collide; touching it via Get above refreshes recency, so
 			// it must survive a churn of <= 2 entries per round.
@@ -248,7 +338,7 @@ func TestGeomCacheEviction(t *testing.T) {
 	}
 
 	hitsBefore := c.Stats().Hits
-	if _, ok := c.Get(src.Table, last); !ok {
+	if _, ok := c.Get(src.Table, col, last); !ok {
 		t.Fatalf("expected hit on resident entry")
 	}
 	if c.Stats().Hits != hitsBefore+1 {
