@@ -1,12 +1,13 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# build, the complete test suite under the race detector, and a
+# build, the spatiallint analyzer suite, the complete test suite under
+# the race detector, a fuzz smoke pass over the wire/SQL decoders, and a
 # one-iteration benchmark smoke run (so benchmarks cannot silently rot).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-smoke bench-wire bench-record
+.PHONY: ci fmt-check vet build lint test race fuzz-smoke bench bench-smoke bench-wire bench-record
 
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build lint race fuzz-smoke bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -20,11 +21,24 @@ vet:
 build:
 	$(GO) build ./...
 
+# The project's own analyzer suite (cmd/spatiallint): pin/Unpin pairing,
+# cursor Close discipline, locks across blocking calls, discarded wire
+# errors, exact float comparison. Zero findings required.
+lint:
+	$(GO) run ./cmd/spatiallint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# A few seconds of coverage-guided fuzzing per target: enough to catch
+# decoder regressions that panic or over-allocate on the seed corpus's
+# immediate neighbourhood. Long runs stay a manual `go test -fuzz` away.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzWireDecode -fuzztime 5s ./internal/wire
+	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 5s ./internal/sqlmini
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,6 +53,7 @@ bench-wire:
 	$(GO) test -run NONE -bench BenchmarkWireJoinStream -benchmem .
 
 # Full benchmark sweep recorded as NDJSON (one `go test -json` event
-# per line) for before/after comparison; writes BENCH_pr2.json.
+# per line) for before/after comparison; writes BENCH_pr3.json unless an
+# output file is given: `make bench-record BENCH_OUT=BENCH_x.json`.
 bench-record:
-	./scripts/bench_record.sh
+	./scripts/bench_record.sh $(BENCH_OUT)

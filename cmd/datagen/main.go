@@ -61,8 +61,11 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	for _, g := range ds.Geoms {
 		fmt.Fprintln(w, geom.MarshalWKT(g))
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,104 @@
+// Command spatiallint runs the project's static analyzer suite
+// (internal/analysis) over Go packages: the concurrency and cursor
+// contracts the compiler cannot check — pin pairing, cursor close
+// discipline, lock-vs-blocking hygiene, unchecked wire errors, and
+// float equality on coordinates. See DESIGN.md §10.
+//
+// Usage:
+//
+//	spatiallint [flags] [packages]
+//
+//	-C dir        run as if started in dir
+//	-disable a,b  disable the named analyzers
+//	-json         emit findings as a JSON array instead of text
+//	-list         print the analyzers and exit
+//
+// Packages default to ./... . Exit status: 0 clean, 1 findings,
+// 2 load or usage failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spatialtf/internal/analysis"
+)
+
+func main() {
+	var (
+		chdir    = flag.String("C", "", "run as if started in `dir`")
+		disable  = flag.String("disable", "", "comma-separated `rules` to disable")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		listOnly = flag.Bool("list", false, "print the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if analysis.ByName(name) == nil {
+			fmt.Fprintf(os.Stderr, "spatiallint: unknown analyzer %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		disabled[name] = true
+	}
+	var suite []*analysis.Analyzer
+	for _, a := range analysis.Analyzers() {
+		if !disabled[a.Name] {
+			suite = append(suite, a)
+		}
+	}
+
+	pkgs, _, err := analysis.Load(*chdir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiallint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, suite)
+
+	// Report paths relative to the working directory when possible.
+	base := *chdir
+	if base == "" {
+		base, _ = os.Getwd()
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(base, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diag{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "spatiallint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "spatiallint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

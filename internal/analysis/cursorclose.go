@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CursorClose enforces the paper's start–fetch–close discipline (§3) on
+// the consumer side: a cursor obtained from a call must be Closed on
+// every path out of the function, or handed off (returned, stored,
+// passed to another function) so that responsibility for the close
+// transfers with it.
+//
+// A "cursor" is any value whose method set satisfies the storage.Cursor
+// shape: a Close() error method plus a Next or Fetch method — this
+// covers storage.Cursor implementations, the wire client's remote
+// Cursor, and spatialtf.JoinCursor alike, without naming any of them.
+//
+// Two findings:
+//
+//   - a cursor-typed local initialized from a call that is never Closed
+//     and never escapes;
+//   - a cursor Closed only by a non-deferred call, with a return
+//     statement between the open and the close that is not the open's
+//     own error check — the early return leaks the cursor.
+var CursorClose = &Analyzer{
+	Name: "cursorclose",
+	Doc:  "an opened cursor must be Closed on every path, including error returns",
+	Run:  runCursorClose,
+}
+
+// isCursorType reports whether t (or *t) has Close() error plus
+// Next/Fetch in its method set.
+func isCursorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		ms = types.NewMethodSet(t)
+	}
+	var hasClose, hasAdvance bool
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		switch fn.Name() {
+		case "Close":
+			sig := fn.Signature()
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 && lastResultIsError(fn) {
+				hasClose = true
+			}
+		case "Next", "Fetch":
+			hasAdvance = true
+		}
+	}
+	return hasClose && hasAdvance
+}
+
+// opened is one tracked cursor variable.
+type opened struct {
+	obj     types.Object
+	name    string
+	pos     token.Pos // the opening statement
+	errObj  types.Object
+	closed  bool // any Close (or closing method) reached it
+	defClos bool // closed via defer
+	escaped bool
+	close1  token.Pos // first non-deferred Close
+}
+
+// closingMethods are selector calls on the cursor that discharge the
+// close obligation themselves.
+var closingMethods = map[string]bool{
+	"Close":   true,
+	"Collect": true, // JoinCursor.Collect closes the cursor
+}
+
+func runCursorClose(pkg *Pkg) []Diag {
+	var diags []Diag
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			diags = append(diags, cursorCloseFunc(pkg, body)...)
+			return true
+		})
+	}
+	return diags
+}
+
+func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
+	info := pkg.Info
+	parents := parentMap(body)
+
+	// Pass 1: find cursor-typed locals defined from calls in this body
+	// (not in nested function literals, which are analyzed separately).
+	var tracked []*opened
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		if enclosingFuncBody(parents, as, body) != body {
+			return true
+		}
+		hasCall := false
+		for _, rhs := range as.Rhs {
+			if _, ok := rhs.(*ast.CallExpr); ok {
+				hasCall = true
+			}
+		}
+		if !hasCall {
+			return true
+		}
+		var errObj types.Object
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				// `cur, err := ...` redeclares nothing when err already
+				// exists; the guard variable is then a use, not a def.
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				errObj = obj
+			}
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil || !isCursorType(obj.Type()) {
+				continue
+			}
+			tracked = append(tracked, &opened{obj: obj, name: id.Name, pos: as.Pos(), errObj: errObj})
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return nil
+	}
+	byObj := make(map[types.Object]*opened, len(tracked))
+	for _, o := range tracked {
+		byObj[o.obj] = o
+	}
+
+	// Pass 2: classify every use of each tracked variable.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := byObj[info.Uses[id]]
+		if o == nil {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if p.X != id {
+				return true
+			}
+			call, isCall := parents[p].(*ast.CallExpr)
+			if isCall && call.Fun == p {
+				if closingMethods[p.Sel.Name] {
+					o.closed = true
+					if underDefer(parents, call, body) {
+						o.defClos = true
+					} else if o.close1 == token.NoPos {
+						o.close1 = call.Pos()
+					}
+				}
+				// Next/Fetch/Columns/...: plain use.
+				return true
+			}
+			// Method value (cur.Close passed around): hand-off.
+			o.escaped = true
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if rhs == ast.Expr(id) {
+					o.escaped = true // stored into something else
+				}
+			}
+		default:
+			if id.Pos() > o.pos {
+				// Any other use — call argument, return value, composite
+				// literal, channel send, &cur — transfers ownership as far
+				// as this heuristic linter is concerned.
+				o.escaped = true
+			}
+		}
+		return true
+	})
+
+	var diags []Diag
+	for _, o := range tracked {
+		if o.escaped {
+			continue
+		}
+		if !o.closed {
+			diags = append(diags, diag(pkg, "cursorclose", o.pos,
+				"cursor %q is opened here but never Closed and never escapes; the cursor contract requires Close on every path", o.name))
+			continue
+		}
+		if o.defClos || o.close1 == token.NoPos {
+			continue
+		}
+		// Closed only by plain calls: look for an early return between
+		// the open and the first close that is not the open's own error
+		// check.
+		if ret := earlyReturn(pkg, body, parents, o); ret != token.NoPos {
+			diags = append(diags, diag(pkg, "cursorclose", ret,
+				"return leaks cursor %q (opened at line %d, Closed only at line %d): Close it on this path or use defer",
+				o.name, pkg.Fset.Position(o.pos).Line, pkg.Fset.Position(o.close1).Line))
+		}
+	}
+	return diags
+}
+
+// enclosingFuncBody returns the nearest enclosing function body of n.
+func enclosingFuncBody(parents map[ast.Node]ast.Node, n ast.Node, root *ast.BlockStmt) *ast.BlockStmt {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p := p.(type) {
+		case *ast.FuncLit:
+			return p.Body
+		case *ast.FuncDecl:
+			return p.Body
+		}
+		if p == ast.Node(root) {
+			return root
+		}
+	}
+	return root
+}
+
+// underDefer reports whether n sits inside a DeferStmt (directly or via
+// a deferred closure) within body.
+func underDefer(parents map[ast.Node]ast.Node, n ast.Node, body *ast.BlockStmt) bool {
+	for p := parents[n]; p != nil && p != ast.Node(body); p = parents[p] {
+		if _, ok := p.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// earlyReturn finds a return statement positioned between o's open and
+// first close that does not consult the open's own error, i.e. a path
+// on which the cursor is live but not yet closed.
+func earlyReturn(pkg *Pkg, body *ast.BlockStmt, parents map[ast.Node]ast.Node, o *opened) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() <= o.pos || ret.Pos() >= o.close1 || found != token.NoPos {
+			return true
+		}
+		if enclosingFuncBody(parents, ret, body) != body {
+			return true
+		}
+		// The open's own error check — `if err != nil { return ... }`
+		// immediately guarding the open — is the one return on which the
+		// cursor is not live.
+		if o.errObj != nil && guardsError(pkg, parents, ret, o.errObj) {
+			return true
+		}
+		found = ret.Pos()
+		return true
+	})
+	return found
+}
+
+// guardsError reports whether ret sits in an if whose condition uses
+// errObj.
+func guardsError(pkg *Pkg, parents map[ast.Node]ast.Node, ret *ast.ReturnStmt, errObj types.Object) bool {
+	for p := parents[ret]; p != nil; p = parents[p] {
+		ifs, ok := p.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		uses := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == errObj {
+				uses = true
+			}
+			return true
+		})
+		if uses {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point values everywhere
+// outside internal/geom. Geometry coordinates accumulate rounding error
+// through the predicate pipeline, so exact comparison is a correctness
+// bug (a point computed two ways stops being "equal" to itself); the
+// approved epsilon and predicate helpers live in internal/geom, which
+// is the one package allowed to compare floats exactly — its helpers
+// are reviewed against the relate-mask semantics.
+//
+// Comparisons against an untyped constant (sentinels like `w == 0`) are
+// exempt: those check an exact bit pattern assigned earlier, not a
+// computed coordinate.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floating-point values outside internal/geom's approved helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pkg *Pkg) []Diag {
+	if pkg.Path == "spatialtf/internal/geom" || strings.HasSuffix(pkg.Path, "/internal/geom") {
+		return nil
+	}
+	var diags []Diag
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg.Info, be.X) || !isFloat(pkg.Info, be.Y) {
+				return true
+			}
+			if isConstExpr(pkg.Info, be.X) || isConstExpr(pkg.Info, be.Y) {
+				return true
+			}
+			diags = append(diags, diag(pkg, "floateq", be.OpPos,
+				"%s compares floats exactly: use the epsilon/predicate helpers in internal/geom", be.Op))
+			return true
+		})
+	}
+	return diags
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages without golang.org/x/tools: it
+// asks the go command for the package graph and compiled export data
+// (`go list -deps -export`), parses the module's own sources with
+// go/parser, and type-checks them with go/types resolving every import
+// through the export data the toolchain just produced. That keeps the
+// analyzers on real type information at a fraction of a source
+// importer's cost, with nothing outside the standard library.
+type Loader struct {
+	Fset    *token.FileSet
+	conf    types.Config
+	exports map[string]string // import path -> export data file
+}
+
+// pkgMeta is the subset of `go list -json` output the loader consumes.
+type pkgMeta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (default "./...") relative to dir (default the
+// current directory), type-checks every non-standard-library package it
+// names, and returns them with a Loader that can check additional
+// directories (the golden-file testdata packages) against the same
+// dependency universe.
+func Load(dir string, patterns ...string) ([]*Pkg, *Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,Standard,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var metas []pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.Standard {
+			metas = append(metas, m)
+		}
+	}
+	l := &Loader{Fset: token.NewFileSet(), exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	l.conf = types.Config{Importer: importer.ForCompiler(l.Fset, "gc", lookup)}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
+	pkgs := make([]*Pkg, 0, len(metas))
+	for _, m := range metas {
+		files := make([]string, len(m.GoFiles))
+		for i, gf := range m.GoFiles {
+			files[i] = filepath.Join(m.Dir, gf)
+		}
+		pkg, err := l.check(m.ImportPath, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, l, nil
+}
+
+// CheckDir parses and type-checks every non-test .go file in dir as one
+// package under the given import path. Imports resolve against the
+// dependency universe of the original Load, so testdata packages may
+// import anything the module itself (transitively) imports.
+func (l *Loader) CheckDir(dir, importPath string) (*Pkg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(importPath, files)
+}
+
+// check parses files and type-checks them as one package.
+func (l *Loader) check(importPath string, files []string) (*Pkg, error) {
+	astFiles := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		astFiles = append(astFiles, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, err := l.conf.Check(importPath, l.Fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Pkg{Path: importPath, Fset: l.Fset, Files: astFiles, Types: tpkg, Info: info}, nil
+}

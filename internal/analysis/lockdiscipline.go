@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline forbids holding a sync.Mutex/RWMutex across an
+// operation that can block indefinitely on a peer: a channel send or
+// receive, a select without a default clause, a cursor Fetch (a network
+// round trip on the wire client), or a wire write/flush. A goroutine
+// parked on a channel while holding a mutex is the deadlock shape the
+// PR 2 review caught in the geometry cache; on the server it also turns
+// one slow client into a global stall.
+//
+// The walk is linear in syntactic order per function: Lock/RLock mark
+// the receiver held, Unlock/RUnlock release it, defer Unlock keeps it
+// held to the end of the function. Function literals are separate
+// scopes (a spawned goroutine does not inherit the parent's lock
+// state).
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no sync.Mutex/RWMutex may be held across a channel operation, Fetch, or wire write",
+	Run:  runLockDiscipline,
+}
+
+// syncLockMethod resolves sel to a sync.Mutex/RWMutex lock or unlock
+// method, returning the receiver key and method name.
+func syncLockMethod(pkg *Pkg, sel *ast.SelectorExpr) (recvKey, method string, ok bool) {
+	recv, fn := selectorObj(pkg.Info, sel)
+	if fn == nil || recv == nil || pkgPathOf(fn) != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprString(recv), fn.Name(), true
+	}
+	return "", "", false
+}
+
+func runLockDiscipline(pkg *Pkg) []Diag {
+	var diags []Diag
+	for _, f := range pkg.Files {
+		for _, body := range funcScopes(f) {
+			w := &lockWalker{pkg: pkg, held: make(map[string]token.Pos)}
+			w.walkStmts(body.List)
+			diags = append(diags, w.diags...)
+		}
+	}
+	return diags
+}
+
+type lockWalker struct {
+	pkg   *Pkg
+	held  map[string]token.Pos // receiver key -> Lock position
+	diags []Diag
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the remainder of the
+		// function; a deferred closure's body runs with whatever is held
+		// at return, so scan it for unlocks the same way.
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			if _, method, ok := syncLockMethod(w.pkg, sel); ok && strings.HasSuffix(method, "Unlock") {
+				return // still held; no release event
+			}
+		}
+		w.scanExpr(s.Call)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan)
+		w.scanExpr(s.Value)
+		w.report(s.Arrow, "channel send")
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.report(s.Pos(), "select without default")
+		}
+		w.walkStmt(s.Body)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanExpr(s.Cond)
+		w.walkStmt(s.Body)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanExpr(s.Cond)
+		w.walkStmt(s.Body)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanExpr(s.Tag)
+		w.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Body)
+	case *ast.CaseClause:
+		w.walkStmts(s.Body)
+	case *ast.CommClause:
+		w.walkStmts(s.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.GoStmt:
+		// The spawned goroutine runs with its own (empty) lock state;
+		// funcScopes analyzes its body separately. Arguments are
+		// evaluated here, though.
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg)
+		}
+	default:
+		scanStmtExprs(s, w.scanExpr)
+	}
+}
+
+// scanStmtExprs feeds every expression of a simple statement to scan.
+func scanStmtExprs(s ast.Stmt, scan func(ast.Expr)) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			scan(e)
+			return false // scanExpr descends itself
+		}
+		return true
+	})
+}
+
+// scanExpr processes one expression tree in syntactic order: lock state
+// transitions and blocking-operation reports.
+func (w *lockWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.report(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.handleCall(n)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) handleCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// In-package calls name wire functions by bare identifier.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if fn, ok := w.pkg.Info.Uses[id].(*types.Func); ok {
+				if kind, ok := blockingFunc(fn); ok {
+					w.report(call.Pos(), kind)
+				}
+			}
+		}
+		return
+	}
+	if recvKey, method, ok := syncLockMethod(w.pkg, sel); ok {
+		switch method {
+		case "Lock", "RLock":
+			w.held[recvKey] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(w.held, recvKey)
+		}
+		return
+	}
+	if kind, ok := blockingCall(w.pkg, call, sel); ok {
+		w.report(call.Pos(), kind)
+	}
+}
+
+// blockingCall classifies calls that can block on a peer: any method
+// named Fetch (the wire cursor's network round trip), wire.Write* /
+// wire handshake functions, and bufio.Writer Flush/Write (socket
+// writes under the wire protocol).
+func blockingCall(pkg *Pkg, call *ast.CallExpr, sel *ast.SelectorExpr) (string, bool) {
+	recv, fn := selectorObj(pkg.Info, sel)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if name == "Fetch" && fn.Signature().Recv() != nil {
+		return "cursor Fetch (network round trip)", true
+	}
+	if kind, ok := blockingFunc(fn); ok {
+		return kind, true
+	}
+	if recv != nil && isBufioWriter(pkg.Info, recv) &&
+		(name == "Flush" || strings.HasPrefix(name, "Write")) {
+		return "bufio.Writer." + name + " (socket write)", true
+	}
+	return "", false
+}
+
+// blockingFunc classifies package-level wire functions that move bytes
+// to or from a peer.
+func blockingFunc(fn *types.Func) (string, bool) {
+	if !fromPkg(fn, "internal/wire") && !fromPkg(fn, "wire") {
+		return "", false
+	}
+	name := fn.Name()
+	if strings.HasPrefix(name, "Write") || name == "ExpectMagic" || name == "ReadFrame" {
+		return "wire " + name, true
+	}
+	return "", false
+}
+
+// isBufioWriter reports whether e's type is *bufio.Writer.
+func isBufioWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "bufio" && named.Obj().Name() == "Writer"
+}
+
+func (w *lockWalker) report(pos token.Pos, what string) {
+	for recvKey, lockPos := range w.held {
+		w.diags = append(w.diags, diag(w.pkg, "lockdiscipline", pos,
+			"%s while %s is held (locked at line %d): release the lock before blocking, or hand the work to an unlocked region",
+			what, recvKey, w.pkg.Fset.Position(lockPos).Line))
+	}
+}

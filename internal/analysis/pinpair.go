@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PinPair enforces the R-tree pin contract (DESIGN.md §10): a
+// rtree.Tree.Pin() blocks all DML on the index until the matching
+// Unpin, so a Pin that can leak on any return path deadlocks writers
+// forever. A Pin is considered released when, on every return path
+// after it, one of the following holds:
+//
+//   - a `defer recv.Unpin()` (directly or inside a deferred closure)
+//     has been registered;
+//   - `recv.Unpin()` has been called on the path;
+//   - the path hands the release to the caller: `recv.Unpin` escapes as
+//     a method value, or a function literal that calls it escapes (the
+//     pinTrees pattern in join.go, which returns the unpin closure for
+//     the join cursor's Close).
+//
+// The check is a linear walk in syntactic order, not a full CFG: it is
+// deliberately conservative about branches (a release inside one arm of
+// an if does not count for the code after it), which is exactly the
+// discipline the hand-written code follows.
+var PinPair = &Analyzer{
+	Name: "pinpair",
+	Doc:  "every rtree.Tree.Pin() must be released via defer/all-paths Unpin or an escaping release func",
+	Run:  runPinPair,
+}
+
+// isTreePinCall reports whether sel resolves to rtree.Tree.Pin/Unpin
+// (by method name); returns the receiver expression key.
+func treePinMethod(pkg *Pkg, sel *ast.SelectorExpr) (recvKey, method string, ok bool) {
+	recv, fn := selectorObj(pkg.Info, sel)
+	if fn == nil || recv == nil {
+		return "", "", false
+	}
+	if fn.Name() != "Pin" && fn.Name() != "Unpin" {
+		return "", "", false
+	}
+	if !fromPkg(fn, "internal/rtree") && !fromPkg(fn, "rtree") {
+		return "", "", false
+	}
+	sig := fn.Signature()
+	if sig.Recv() == nil {
+		return "", "", false
+	}
+	return exprString(recv), fn.Name(), true
+}
+
+func runPinPair(pkg *Pkg) []Diag {
+	var diags []Diag
+	reported := make(map[token.Pos]bool)
+	for _, f := range pkg.Files {
+		for _, body := range funcScopes(f) {
+			w := &pinWalker{
+				pkg:      pkg,
+				body:     body,
+				pinned:   make(map[string]token.Pos),
+				deferred: make(map[string]bool),
+				escaped:  collectEscapedUnpins(pkg, body),
+				reported: reported,
+			}
+			w.walkStmts(body.List)
+			w.checkReturnPoint(body.End(), nil)
+			diags = append(diags, w.diags...)
+		}
+	}
+	return diags
+}
+
+// collectEscapedUnpins finds receivers whose Unpin escapes from body as
+// a value: referenced without being called (a method value), or called
+// inside a function literal (the literal itself is the escaping release
+// func). Each escape is recorded at its position: an escape only
+// discharges a Pin acquired before it (a `return t.Unpin` in an early
+// branch must not excuse a later, unrelated `t.Pin()`). Deferred calls
+// are handled by the walker, not here.
+func collectEscapedUnpins(pkg *Pkg, body *ast.BlockStmt) map[string][]token.Pos {
+	escaped := make(map[string][]token.Pos)
+	parents := parentMap(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvKey, method, ok := treePinMethod(pkg, sel)
+		if !ok || method != "Unpin" {
+			return true
+		}
+		// Called directly? Then it is a release event for the walker
+		// unless the call sits inside a nested function literal.
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			for p := parents[call]; p != nil && p != body; p = parents[p] {
+				if _, isLit := p.(*ast.FuncLit); isLit {
+					escaped[recvKey] = append(escaped[recvKey], sel.Pos())
+					return true
+				}
+			}
+			return true
+		}
+		// Method value: recv.Unpin used as a first-class function.
+		escaped[recvKey] = append(escaped[recvKey], sel.Pos())
+		return true
+	})
+	return escaped
+}
+
+// pinWalker walks one function body in syntactic order tracking which
+// receivers are pinned.
+type pinWalker struct {
+	pkg      *Pkg
+	body     *ast.BlockStmt
+	pinned   map[string]token.Pos
+	deferred map[string]bool
+	escaped  map[string][]token.Pos
+	reported map[token.Pos]bool
+	diags    []Diag
+}
+
+func (w *pinWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *pinWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		w.handleDefer(s)
+	case *ast.ReturnStmt:
+		w.handlePinEvents(s) // e.g. return pinAndGet() — none in practice
+		w.checkReturnPoint(s.Pos(), s)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.handlePinEventsExpr(s.Cond)
+		w.walkStmt(s.Body)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Body)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(s.Body)
+	case *ast.CaseClause:
+		w.walkStmts(s.Body)
+	case *ast.CommClause:
+		w.walkStmts(s.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	default:
+		w.handlePinEvents(s)
+	}
+}
+
+// handleDefer processes defer recv.Unpin() and deferred closures that
+// call Unpin.
+func (w *pinWalker) handleDefer(s *ast.DeferStmt) {
+	if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+		if recvKey, method, ok := treePinMethod(w.pkg, sel); ok && method == "Unpin" {
+			w.deferred[recvKey] = true
+			return
+		}
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if recvKey, method, ok := treePinMethod(w.pkg, sel); ok && method == "Unpin" {
+					w.deferred[recvKey] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// handlePinEvents scans one statement (not descending into nested
+// function literals) for direct Pin/Unpin calls.
+func (w *pinWalker) handlePinEvents(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvKey, method, ok := treePinMethod(w.pkg, sel)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Pin":
+			w.pinned[recvKey] = call.Pos()
+		case "Unpin":
+			delete(w.pinned, recvKey)
+		}
+		return true
+	})
+}
+
+func (w *pinWalker) handlePinEventsExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.handlePinEvents(&ast.ExprStmt{X: e})
+}
+
+// checkReturnPoint reports every receiver still pinned at a return (or
+// at the end of the body) that has no deferred or escaping release and
+// is not released by the return expression itself.
+func (w *pinWalker) checkReturnPoint(pos token.Pos, ret *ast.ReturnStmt) {
+	released := make(map[string]bool)
+	limit := pos
+	if ret != nil {
+		// Escapes inside the return expression itself (a returned
+		// closure) sit past ret.Pos(); reach to the statement's end.
+		limit = ret.End()
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if recvKey, method, ok := treePinMethod(w.pkg, sel); ok && method == "Unpin" {
+						released[recvKey] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for recvKey, pinPos := range w.pinned {
+		if w.deferred[recvKey] || released[recvKey] || w.reported[pinPos] {
+			continue
+		}
+		if escapedBetween(w.escaped[recvKey], pinPos, limit) {
+			continue
+		}
+		retLine := w.pkg.Fset.Position(pos).Line
+		w.reported[pinPos] = true
+		w.diags = append(w.diags, diag(w.pkg, "pinpair", pinPos,
+			"%s.Pin() is not released on the return path at line %d: pair it with a defer %s.Unpin() or release it on every path",
+			recvKey, retLine, recvKey))
+	}
+}
+
+// escapedBetween reports whether any escape site lies after the pin and
+// no later than the return point it must cover.
+func escapedBetween(escapes []token.Pos, pinPos, limit token.Pos) bool {
+	for _, e := range escapes {
+		if e > pinPos && e <= limit {
+			return true
+		}
+	}
+	return false
+}

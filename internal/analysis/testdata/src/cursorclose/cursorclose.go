@@ -1,0 +1,75 @@
+// Package cursorclose is the golden-file fixture for the cursorclose
+// analyzer: an opened cursor must be Closed on every path or handed
+// off.
+package cursorclose
+
+import "spatialtf/internal/storage"
+
+func neverClosed(t *storage.Table) int {
+	cur := storage.NewCursor(t) // want `cursor "cur" is opened here but never Closed`
+	n := 0
+	for {
+		_, _, ok, err := cur.Next()
+		if err != nil || !ok {
+			return n
+		}
+		n++
+	}
+}
+
+func leaksOnErrorReturn(t *storage.Table) error {
+	cur := storage.NewCursor(t)
+	for {
+		_, _, ok, err := cur.Next()
+		if err != nil {
+			return err // want `return leaks cursor "cur"`
+		}
+		if !ok {
+			break
+		}
+	}
+	return cur.Close()
+}
+
+func deferredClose(t *storage.Table) error {
+	cur := storage.NewCursor(t)
+	defer cur.Close()
+	for {
+		_, _, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+func open(t *storage.Table) (storage.Cursor, error) {
+	return storage.NewCursor(t), nil
+}
+
+func errGuardIsNotALeak(t *storage.Table) error {
+	cur, err := open(t)
+	if err != nil {
+		return err
+	}
+	_, _, ok, err := cur.Next()
+	_ = ok
+	if err != nil {
+		cur.Close()
+		return err
+	}
+	return cur.Close()
+}
+
+func ownershipTransfers(t *storage.Table) storage.Cursor {
+	cur := storage.NewCursor(t)
+	return cur
+}
+
+func drainCloses(t *storage.Table) error {
+	cur := storage.NewCursor(t)
+	_, _, err := storage.Drain(cur)
+	return err
+}

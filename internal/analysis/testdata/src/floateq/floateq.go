@@ -1,0 +1,31 @@
+// Package floateq is the golden-file fixture for the floateq analyzer:
+// no ==/!= on floating-point values outside internal/geom.
+package floateq
+
+type coord struct{ x, y float64 }
+
+func exactEqual(a, b float64) bool {
+	return a == b // want `== compares floats exactly`
+}
+
+func exactNotEqual(p, q coord) bool {
+	return p.x != q.x // want `!= compares floats exactly`
+}
+
+type meters float64
+
+func namedFloat(a, b meters) bool {
+	return a == b // want `== compares floats exactly`
+}
+
+func sentinelIsFine(w float64) bool {
+	return w == 0
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func orderingIsFine(a, b float64) bool {
+	return a < b || a > b
+}

@@ -1,0 +1,75 @@
+// Package lockdiscipline is the golden-file fixture for the
+// lockdiscipline analyzer: no mutex held across a channel operation, a
+// cursor Fetch, or a wire write.
+package lockdiscipline
+
+import (
+	"bufio"
+	"sync"
+
+	"spatialtf/internal/wire"
+)
+
+func sendWhileLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while mu is held`
+	mu.Unlock()
+}
+
+func receiveWhileDeferLocked(mu *sync.RWMutex, ch chan int) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return <-ch // want `channel receive while mu is held`
+}
+
+func fetchWhileLocked(mu *sync.Mutex, cur *wire.Cursor) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, _, err := cur.Fetch(0) // want `cursor Fetch \(network round trip\) while mu is held`
+	return err
+}
+
+func wireWriteWhileLocked(mu *sync.Mutex, bw *bufio.Writer) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return wire.WriteFrame(bw, wire.FrameError, nil) // want `wire WriteFrame while mu is held`
+}
+
+func flushWhileLocked(mu *sync.Mutex, bw *bufio.Writer) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return bw.Flush() // want `bufio\.Writer\.Flush \(socket write\) while mu is held`
+}
+
+func selectWhileLocked(mu *sync.Mutex, a, b chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want `select without default while mu is held`
+	case <-a:
+	case <-b:
+	}
+}
+
+func releaseBeforeSend(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	v := 1
+	mu.Unlock()
+	ch <- v
+}
+
+func nonBlockingSelectIsFine(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func goroutineHasOwnLockState(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}

@@ -1,0 +1,73 @@
+// Package pinpair is the golden-file fixture for the pinpair analyzer:
+// every rtree.Tree.Pin() must be released by a defer, on all paths, or
+// by an escaping release func.
+package pinpair
+
+import "spatialtf/internal/rtree"
+
+func leaksForever(t *rtree.Tree) {
+	t.Pin() // want `t\.Pin\(\) is not released on the return path`
+}
+
+func leaksOnEarlyReturn(t *rtree.Tree, cond bool) {
+	t.Pin() // want `t\.Pin\(\) is not released on the return path`
+	if cond {
+		return
+	}
+	t.Unpin()
+}
+
+func deferredPair(t *rtree.Tree) {
+	t.Pin()
+	defer t.Unpin()
+}
+
+func releasedOnAllPaths(t *rtree.Tree, cond bool) {
+	t.Pin()
+	if cond {
+		t.Unpin()
+		return
+	}
+	t.Unpin()
+}
+
+func handsReleaseToCaller(t *rtree.Tree) func() {
+	t.Pin()
+	return t.Unpin
+}
+
+func closurePair(a, b *rtree.Tree) func() {
+	if a.Seq() > b.Seq() {
+		a, b = b, a
+	}
+	a.Pin()
+	b.Pin()
+	return func() {
+		b.Unpin()
+		a.Unpin()
+	}
+}
+
+// earlyEscapeDoesNotCoverLaterPin repins after an early branch already
+// handed its release to the caller: the second Pin leaks — the escape
+// at the first return must not excuse it.
+func earlyEscapeDoesNotCoverLaterPin(a, b *rtree.Tree) func() {
+	if a == b {
+		a.Pin()
+		return a.Unpin
+	}
+	a.Pin() // want `a\.Pin\(\) is not released on the return path`
+	b.Pin()
+	return func() {
+		b.Unpin()
+	}
+}
+
+func deferredClosure(a, b *rtree.Tree) {
+	a.Pin()
+	b.Pin()
+	defer func() {
+		b.Unpin()
+		a.Unpin()
+	}()
+}

@@ -1,0 +1,29 @@
+// Package suppress is the fixture for //spatiallint:ignore directives:
+// three suppression placements that must silence a finding, one
+// malformed directive that must be reported, and one live finding.
+package suppress
+
+func sameLine(a, b float64) bool {
+	return a == b //spatiallint:ignore floateq fixture: same-line suppression
+}
+
+func lineAbove(a, b float64) bool {
+	//spatiallint:ignore floateq fixture: line-above suppression
+	return a == b
+}
+
+// suppressedFunc compares floats twice; the doc directive silences the
+// whole function.
+//
+//spatiallint:ignore floateq fixture: function-level suppression
+func suppressedFunc(a, b float64) bool {
+	if a != b {
+		return false
+	}
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	//spatiallint:ignore floateq
+	return a == b
+}

@@ -1,0 +1,39 @@
+// Package wireerr is the golden-file fixture for the wireerr analyzer:
+// error results of wire write/encode/flush calls must be checked.
+package wireerr
+
+import (
+	"bufio"
+
+	"spatialtf/internal/storage"
+	"spatialtf/internal/wire"
+)
+
+func dropsFrameWrite(bw *bufio.Writer) {
+	wire.WriteFrame(bw, wire.FrameError, nil) // want `error result of wire\.WriteFrame is discarded`
+	bw.Flush()                                // want `error result of bufio\.Flush is discarded`
+}
+
+func dropsDeferredFlush(bw *bufio.Writer) error {
+	defer bw.Flush() // want `deferred error result of bufio\.Flush is discarded`
+	return wire.WriteMagic(bw)
+}
+
+func dropsBlanked(bw *bufio.Writer) {
+	_ = wire.WriteMagic(bw) // want `blanked error result of wire\.WriteMagic is discarded`
+}
+
+func dropsEncode(schema []storage.Column, row storage.Row) {
+	storage.EncodeRow(schema, row) // want `error result of storage\.EncodeRow is discarded`
+}
+
+func checked(bw *bufio.Writer) error {
+	if err := wire.WriteFrame(bw, wire.FrameError, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func closeIsExempt(cl *wire.Client) {
+	defer cl.Close()
+}

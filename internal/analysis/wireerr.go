@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireErr flags discarded error results from the calls that move bytes
+// onto the wire or into a row image: functions of internal/wire,
+// bufio.Writer writes and flushes, and the storage encoders. A failed
+// frame write must surface as a closed connection or cursor — silently
+// dropping the error truncates the stream and the client cannot tell a
+// short result from a complete one.
+//
+// Flagged contexts: a call used as a bare statement, a deferred or
+// spawned call, and an assignment whose targets are all blank.
+// Methods named Close are exempt (deferred best-effort closes are
+// idiomatic); everything else needs its error checked or an explicit
+// //spatiallint:ignore wireerr <reason>.
+var WireErr = &Analyzer{
+	Name: "wireerr",
+	Doc:  "error results of wire write/encode/flush calls must be checked",
+	Run:  runWireErr,
+}
+
+func runWireErr(pkg *Pkg) []Diag {
+	var diags []Diag
+	report := func(call *ast.CallExpr, how string) {
+		fn := wireErrCallee(pkg, call)
+		if fn == nil {
+			return
+		}
+		diags = append(diags, diag(pkg, "wireerr", call.Pos(),
+			"%s error result of %s.%s is discarded: a failed write must close the stream, not truncate it",
+			how, pkgName(fn), fn.Name()))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "the")
+				}
+			case *ast.DeferStmt:
+				report(n.Call, "the deferred")
+			case *ast.GoStmt:
+				report(n.Call, "the spawned")
+			case *ast.AssignStmt:
+				allBlank := true
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank && len(n.Rhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						report(call, "the blanked")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// wireErrCallee resolves call to a *types.Func the rule covers, or nil.
+func wireErrCallee(pkg *Pkg, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		recv, fn = selectorObj(pkg.Info, fun)
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	}
+	if fn == nil || !lastResultIsError(fn) || fn.Name() == "Close" {
+		return nil
+	}
+	switch {
+	case fromPkg(fn, "internal/wire") || fromPkg(fn, "wire"):
+		return fn
+	case recv != nil && isBufioWriter(pkg.Info, recv) &&
+		(fn.Name() == "Flush" || strings.HasPrefix(fn.Name(), "Write")):
+		return fn
+	case (fromPkg(fn, "internal/storage") || fromPkg(fn, "storage")) &&
+		strings.HasPrefix(fn.Name(), "Encode"):
+		return fn
+	}
+	return nil
+}
+
+// pkgName renders the defining package's short name for a message.
+func pkgName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return "builtin"
+	}
+	return fn.Pkg().Name()
+}

@@ -73,7 +73,20 @@ func UnmarshalBinary(b []byte) (Geometry, error) {
 	return g, nil
 }
 
+// maxGeomDepth bounds the nesting of multi-geometry elements. Legal
+// images are at most two levels deep (a multi kind over primitives);
+// the slack keeps the decoder's recursion bounded on adversarial input
+// without rejecting anything the encoder can produce.
+const maxGeomDepth = 16
+
 func decodeBinary(b []byte) (Geometry, []byte, error) {
+	return decodeBinaryDepth(b, 0)
+}
+
+func decodeBinaryDepth(b []byte, depth int) (Geometry, []byte, error) {
+	if depth > maxGeomDepth {
+		return Geometry{}, nil, fmt.Errorf("geom: geometry nested deeper than %d", maxGeomDepth)
+	}
 	if len(b) < 1 {
 		return Geometry{}, nil, fmt.Errorf("geom: truncated geometry header")
 	}
@@ -95,6 +108,12 @@ func decodeBinary(b []byte) (Geometry, []byte, error) {
 		}
 		return Geometry{Kind: kind, Pts: pts}, rest, nil
 	case KindPolygon:
+		// Each ring costs at least one count byte, so nParts beyond
+		// len(b) cannot decode; checking first keeps the pre-allocation
+		// bounded by the input size rather than by a forged count.
+		if nParts > uint64(len(b)) {
+			return Geometry{}, nil, fmt.Errorf("geom: %d rings in %d bytes", nParts, len(b))
+		}
 		rings := make([][]Point, 0, nParts)
 		for i := uint64(0); i < nParts; i++ {
 			pts, rest, err := decodeCoords(b)
@@ -106,9 +125,13 @@ func decodeBinary(b []byte) (Geometry, []byte, error) {
 		}
 		return Geometry{Kind: kind, Rings: rings}, b, nil
 	case KindMultiPoint, KindMultiLineString, KindMultiPolygon:
+		// Each element costs at least a kind byte and a count byte.
+		if nParts > uint64(len(b))/2 {
+			return Geometry{}, nil, fmt.Errorf("geom: %d elements in %d bytes", nParts, len(b))
+		}
 		elems := make([]Geometry, 0, nParts)
 		for i := uint64(0); i < nParts; i++ {
-			e, rest, err := decodeBinary(b)
+			e, rest, err := decodeBinaryDepth(b, depth+1)
 			if err != nil {
 				return Geometry{}, nil, err
 			}
@@ -127,10 +150,12 @@ func decodeCoords(b []byte) ([]Point, []byte, error) {
 		return nil, nil, fmt.Errorf("geom: truncated coordinate count")
 	}
 	b = b[n:]
-	need := int(nPts) * 16
-	if len(b) < need {
-		return nil, nil, fmt.Errorf("geom: truncated coordinates: need %d bytes, have %d", need, len(b))
+	// Compare in uint64 space: a forged 64-bit count times 16 would
+	// overflow int and slip past a `len(b) < need` check.
+	if nPts > uint64(len(b))/16 {
+		return nil, nil, fmt.Errorf("geom: truncated coordinates: need %d points, have %d bytes", nPts, len(b))
 	}
+	need := int(nPts) * 16
 	pts := make([]Point, nPts)
 	for i := range pts {
 		pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:]))

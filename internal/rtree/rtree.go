@@ -351,6 +351,8 @@ func (t *Tree) insertInto(n *node, e entry, level, nodeLevel int) *node {
 
 // chooseSubtree picks the child whose MBR needs least enlargement to
 // absorb m, breaking ties by smaller area (Guttman's ChooseLeaf).
+//
+//spatiallint:ignore floateq heuristic tie-break on computed areas; a missed exact tie only changes which child absorbs the entry
 func chooseSubtree(n *node, m geom.MBR) int {
 	best := 0
 	bestEnl := n.rect(0).Enlargement(m)

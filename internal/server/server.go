@@ -153,8 +153,12 @@ func rejectConn(nc net.Conn) {
 	if err := wire.ExpectMagic(nc); err != nil {
 		return
 	}
-	wire.WriteFrame(bw, wire.FrameError, wire.AppendError(nil, "connection limit reached"))
-	bw.Flush()
+	if err := wire.WriteFrame(bw, wire.FrameError, wire.AppendError(nil, "connection limit reached")); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
 }
 
 // Shutdown gracefully stops the server: the listener closes, new

@@ -61,6 +61,7 @@ func SimulateParallelIndexJoin(a, b Source, cfg Config, workers int) (SimResult,
 		}
 		t0 := time.Now()
 		if err := fn.Start(); err != nil {
+			fn.Close()
 			return SimResult{}, err
 		}
 		for {

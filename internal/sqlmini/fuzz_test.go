@@ -1,0 +1,26 @@
+package sqlmini
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the SQL front end: the lexer and
+// parser must reject garbage with an error, never panic or hang.
+func FuzzParse(f *testing.F) {
+	for _, sql := range []string{
+		"",
+		"SELECT count(*) FROM cities",
+		"SELECT name FROM cities",
+		"SELECT * FROM rivers",
+		"SELECT name FROM cities WHERE sdo_relate(geom, 'POINT (12 12)', 'mask=contains') = 'TRUE'",
+		"SELECT count(*) FROM cities WHERE sdo_within_distance(geom, 'POINT (30 14)', 'distance=8')",
+		"SELECT rid1, rid2 FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract'))",
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','cities','geom','distance=7', 2))",
+		"CREATE TABLE t (id int, geom geometry)",
+		"INSERT INTO t VALUES (1, 'POLYGON ((8 8, 25 8, 25 18, 8 18, 8 8))')",
+		"SELECT 'unterminated",
+	} {
+		f.Add(sql)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		Parse(sql)
+	})
+}

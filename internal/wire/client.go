@@ -67,6 +67,13 @@ type RemoteError struct{ Msg string }
 func (e *RemoteError) Error() string { return "server: " + e.Msg }
 
 // roundTrip sends one frame and reads the reply, handling Error frames.
+// The client's mutex is deliberately held across the socket write and
+// the reply read: the protocol is strict request/response on a single
+// connection, so the lock IS the request pipeline — waiters queue for
+// the wire, they cannot deadlock against it, and the server bounds how
+// long a reply can take.
+//
+//spatiallint:ignore lockdiscipline the mutex serialises request/response frames on one connection; holding it across the round trip is the protocol
 func (c *Client) roundTrip(t FrameType, payload []byte) (FrameType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

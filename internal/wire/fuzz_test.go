@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"spatialtf/internal/geom"
+	"spatialtf/internal/storage"
+)
+
+// fuzzSchema covers every column type, so ParseBatch drives the storage
+// row codec and the geometry binary decoder from the same input.
+var fuzzSchema = []storage.Column{
+	{Name: "id", Type: storage.TInt64},
+	{Name: "w", Type: storage.TFloat64},
+	{Name: "name", Type: storage.TString},
+	{Name: "blob", Type: storage.TBytes},
+	{Name: "geom", Type: storage.TGeometry},
+}
+
+// FuzzWireDecode throws bytes at every decode path a peer can reach: the
+// frame reader, then each payload parser on the raw payload. All of them
+// must return an error rather than panic, hang, or over-allocate on
+// hostile input.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendQuery(nil, "SELECT count(*) FROM cities"))
+	f.Add(AppendFetch(nil, 7, 128))
+	f.Add(AppendCloseCursor(nil, 7))
+	f.Add(AppendDescribe(nil, 7, fuzzSchema))
+	f.Add(AppendError(nil, "boom"))
+	f.Add(AppendStats(nil, Stats{Queries: 3, RowsStreamed: 99}))
+	f.Add(AppendResult(nil, Result{Message: "ok", HasCount: true, Count: 2,
+		Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}))
+	if b, err := AppendBatch(nil, 7, true, fuzzSchema, []storage.Row{{
+		storage.Int(1), storage.Float(0.5), storage.Str("x"), storage.Bytes([]byte{1}),
+		storage.Geom(geom.Geometry{Kind: geom.KindPoint, Pts: []geom.Point{{X: 1, Y: 2}}}),
+	}}); err == nil {
+		f.Add(b)
+	}
+	var frame bytes.Buffer
+	bw := bufio.NewWriter(&frame)
+	if err := WriteFrame(bw, FrameQuery, AppendQuery(nil, "SELECT * FROM rivers")); err == nil && bw.Flush() == nil {
+		f.Add(frame.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			if _, _, err := ReadFrame(br); err != nil {
+				break
+			}
+		}
+		ParseQuery(data)
+		ParseFetch(data)
+		ParseCloseCursor(data)
+		ParseDescribe(data)
+		ParseBatch(data, fuzzSchema)
+		ParseResult(data)
+		ParseError(data)
+		ParseStats(data)
+	})
+}

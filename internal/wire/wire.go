@@ -14,6 +14,7 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -85,11 +86,18 @@ func ReadFrame(r *bufio.Reader) (FrameType, []byte, error) {
 	if n > MaxFrame {
 		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// Grow the buffer from bytes actually received rather than trusting
+	// the header: a forged length on a short stream must not cost a
+	// MaxFrame-sized allocation before the read fails.
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, 64<<10)))
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, err
 	}
-	return FrameType(hdr[4]), payload, nil
+	return FrameType(hdr[4]), buf.Bytes(), nil
 }
 
 // WriteMagic sends the protocol magic.
@@ -387,6 +395,12 @@ func ParseResult(b []byte) (Result, error) {
 	nrows, err := p.u64()
 	if err != nil {
 		return r, err
+	}
+	// Each row carries ncols length-prefixed strings, at least one byte
+	// apiece — except zero-column rows, which carry nothing at all, so a
+	// forged count would spin the loop without ever consuming input.
+	if nrows > uint64(len(p.b)) && nrows > 1024 {
+		return r, fmt.Errorf("wire: result with %d rows in %d bytes", nrows, len(p.b))
 	}
 	for i := uint64(0); i < nrows; i++ {
 		row := make([]string, ncols)

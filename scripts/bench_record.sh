@@ -1,16 +1,16 @@
 #!/bin/sh
-# Runs the full benchmark sweep and records the results as NDJSON in
-# BENCH_pr2.json (one `go test -json` event per line, benchmark output
-# events only). Dependency-free: POSIX sh + grep. Compare two recordings
-# with e.g.
+# Runs the full benchmark sweep and records the results as NDJSON (one
+# `go test -json` event per line, benchmark output events only) in the
+# file named by $1, default BENCH_pr3.json. Dependency-free: POSIX sh +
+# grep. Compare two recordings with e.g.
 #
-#   grep -o '"Output":"Benchmark[^"]*' BENCH_pr2.json
+#   grep -o '"Output":"Benchmark[^"]*' BENCH_pr3.json
 #
 # or any JSON-aware tool.
 set -eu
 
 cd "$(dirname "$0")/.."
-out=BENCH_pr2.json
+out="${1:-BENCH_pr3.json}"
 
 : >"$out"
 # -json wraps each line of benchmark output in a TestEvent; keep the

@@ -56,7 +56,7 @@ func (db *DB) Save(w io.Writer) error {
 		writeUvarint(bw, uint64(len(schema)))
 		for _, c := range schema {
 			writeString(bw, c.Name)
-			bw.WriteByte(byte(c.Type))
+			writeByte(bw, byte(c.Type))
 		}
 		writeUvarint(bw, uint64(inner.Len()))
 		var encodeErr error
@@ -67,7 +67,7 @@ func (db *DB) Save(w io.Writer) error {
 				return false
 			}
 			writeUvarint(bw, uint64(len(img)))
-			bw.Write(img)
+			writeBytes(bw, img)
 			return true
 		})
 		if scanErr != nil {
@@ -95,7 +95,7 @@ func (db *DB) Save(w io.Writer) error {
 		var fbuf [8]byte
 		for _, f := range []float64{m.Bounds.MinX, m.Bounds.MinY, m.Bounds.MaxX, m.Bounds.MaxY} {
 			binary.LittleEndian.PutUint64(fbuf[:], uint64FromFloat(f))
-			bw.Write(fbuf[:])
+			writeBytes(bw, fbuf[:])
 		}
 	}
 	return bw.Flush()
@@ -222,15 +222,33 @@ func Restore(r io.Reader, parallel int) (*DB, error) {
 
 // --- little helpers ---
 
+// The write helpers below deliberately drop per-call error results:
+// bufio.Writer errors are sticky, every later write is a no-op after
+// the first failure, and Save's final Flush reports it. Checking each
+// call would triple the line count of the snapshot writer for no added
+// safety.
+
+//spatiallint:ignore wireerr bufio errors are sticky; Save's final Flush reports the first failure
 func writeUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:n])
 }
 
+//spatiallint:ignore wireerr bufio errors are sticky; Save's final Flush reports the first failure
 func writeString(w *bufio.Writer, s string) {
 	writeUvarint(w, uint64(len(s)))
 	w.WriteString(s)
+}
+
+//spatiallint:ignore wireerr bufio errors are sticky; Save's final Flush reports the first failure
+func writeByte(w *bufio.Writer, b byte) {
+	w.WriteByte(b)
+}
+
+//spatiallint:ignore wireerr bufio errors are sticky; Save's final Flush reports the first failure
+func writeBytes(w *bufio.Writer, b []byte) {
+	w.Write(b)
 }
 
 func readString(r *bufio.Reader) (string, error) {
