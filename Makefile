@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build lint test race fuzz-smoke bench bench-smoke bench-wire bench-record
+.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record
 
-ci: fmt-check vet build lint race fuzz-smoke bench-smoke
+ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -23,7 +23,10 @@ build:
 
 # The project's own analyzer suite (cmd/spatiallint): pin/Unpin pairing,
 # cursor Close discipline, locks across blocking calls, discarded wire
-# errors, exact float comparison. Zero findings required.
+# errors, exact float comparison, decoded-size taint tracking, goroutine
+# accounting, and release-func summaries. Zero findings required.
+# Timing budget: the CFG/summary engine must keep a full-repo run under
+# ~10s; it currently completes in well under 1s (warm build cache).
 lint:
 	$(GO) run ./cmd/spatiallint ./...
 
@@ -32,6 +35,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race lane over the concurrency-heavy surfaces — the root
+# package's reader/writer tests, the server, and the parallel join —
+# so races there fail fast before the full -race sweep runs.
+race-hot:
+	$(GO) test -race -run 'TestConcurrent|TestSnapshot' .
+	$(GO) test -race ./internal/server ./internal/sjoin
 
 # A few seconds of coverage-guided fuzzing per target: enough to catch
 # decoder regressions that panic or over-allocate on the seed corpus's

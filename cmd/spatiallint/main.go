@@ -1,8 +1,10 @@
 // Command spatiallint runs the project's static analyzer suite
 // (internal/analysis) over Go packages: the concurrency and cursor
 // contracts the compiler cannot check — pin pairing, cursor close
-// discipline, lock-vs-blocking hygiene, unchecked wire errors, and
-// float equality on coordinates. See DESIGN.md §10.
+// discipline, lock-vs-blocking hygiene, unchecked wire errors, float
+// equality on coordinates, unbounded decoded allocation sizes,
+// unjoined goroutines, and discarded release funcs. See DESIGN.md
+// §10–§11.
 //
 // Usage:
 //
@@ -12,6 +14,8 @@
 //	-disable a,b  disable the named analyzers
 //	-json         emit findings as a JSON array instead of text
 //	-list         print the analyzers and exit
+//	-cfg-debug f  print the control-flow graph of function f (Graphviz
+//	              dot; f is "Name" or "Type.Method") and exit
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings,
 // 2 load or usage failure.
@@ -21,11 +25,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"spatialtf/internal/analysis"
+	"spatialtf/internal/analysis/cfg"
 )
 
 func main() {
@@ -34,6 +40,7 @@ func main() {
 		disable  = flag.String("disable", "", "comma-separated `rules` to disable")
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
 		listOnly = flag.Bool("list", false, "print the analyzers and exit")
+		cfgDebug = flag.String("cfg-debug", "", "print the CFG of `func` (\"Name\" or \"Type.Method\") as Graphviz dot and exit")
 	)
 	flag.Parse()
 
@@ -42,6 +49,10 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	if *cfgDebug != "" {
+		os.Exit(dumpCFG(*chdir, *cfgDebug, flag.Args()))
 	}
 
 	disabled := make(map[string]bool)
@@ -101,4 +112,49 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// dumpCFG builds and prints the control-flow graph of the named
+// function — "Name" for package functions, "Type.Method" for methods —
+// searching every loaded package. Returns the process exit status.
+func dumpCFG(chdir, name string, patterns []string) int {
+	pkgs, _, err := analysis.Load(chdir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiallint:", err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || declName(fd) != name {
+					continue
+				}
+				found = true
+				g := cfg.Build(fd.Body)
+				fmt.Print(cfg.Dot(g, pkg.Fset, pkg.Path+"."+name))
+			}
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "spatiallint: no function %q in the loaded packages\n", name)
+		return 2
+	}
+	return 0
+}
+
+// declName renders a FuncDecl's name as the -cfg-debug flag spells it.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
 }

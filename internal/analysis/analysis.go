@@ -15,6 +15,21 @@
 //	               and bufio flush calls
 //	floateq        no ==/!= on floating-point values outside the
 //	               approved predicate helpers in internal/geom
+//	taintsize      a length/count decoded from wire, snapshot, or geom
+//	               bytes must pass a bound check before it reaches a
+//	               make/Grow preallocation
+//	goleak         a goroutine launched in the server/join machinery
+//	               must be joined (WaitGroup, channel) or tied to a
+//	               shutdown path
+//	releasesummary a release/cancel func returned by a function must be
+//	               called, deferred, or handed off by every caller
+//
+// pinpair, cursorclose, and the three rules below the line run on the
+// control-flow-graph engine in the cfg subpackage: per-function basic
+// blocks plus a worklist dataflow solver, with per-function summaries
+// (Module) carrying facts across calls — which functions return
+// release funcs, which results carry unbounded decoded counts, which
+// callees account for the goroutines they spawn.
 //
 // Everything here is stdlib-only: packages load through `go list
 // -deps -export` plus go/parser and go/types with an export-data
@@ -64,11 +79,19 @@ type Pkg struct {
 	Info  *types.Info
 }
 
+// Pass is what one analyzer run over one package sees: the package
+// itself plus the module-wide function summaries the interprocedural
+// rules consult.
+type Pass struct {
+	Pkg *Pkg
+	Mod *Module
+}
+
 // Analyzer is one rule of the suite.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pkg) []Diag
+	Run  func(*Pass) []Diag
 }
 
 // Analyzers returns the full suite in stable order.
@@ -79,6 +102,9 @@ func Analyzers() []*Analyzer {
 		LockDiscipline,
 		WireErr,
 		FloatEq,
+		TaintSize,
+		GoLeak,
+		ReleaseSummary,
 	}
 }
 
@@ -96,13 +122,18 @@ func ByName(name string) *Analyzer {
 // silenced by //spatiallint:ignore directives, and returns the rest
 // sorted by position. Malformed directives (unknown rule, missing
 // reason) are reported as findings of the pseudo-rule "directive".
+// Function summaries are computed once over all packages, so the
+// interprocedural rules see the whole module regardless of which
+// package they are visiting.
 func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diag {
+	mod := BuildModule(pkgs)
 	var out []Diag
 	for _, pkg := range pkgs {
 		sup, diags := collectSuppressions(pkg)
 		out = append(out, diags...)
+		pass := &Pass{Pkg: pkg, Mod: mod}
 		for _, a := range analyzers {
-			for _, d := range a.Run(pkg) {
+			for _, d := range a.Run(pass) {
 				if !sup.matches(d) {
 					out = append(out, d)
 				}

@@ -1,0 +1,438 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses one function and builds its CFG.
+func buildFunc(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return Build(fd.Body), fset
+}
+
+// nodeText renders a node for matching.
+func nodeText(n ast.Node, fset *token.FileSet) string {
+	var sb strings.Builder
+	(&printer.Config{Mode: printer.RawFormat}).Fprint(&sb, fset, n)
+	return sb.String()
+}
+
+// liveBlockWith returns the live block containing a node whose text
+// contains want, or nil.
+func liveBlockWith(g *Graph, fset *token.FileSet, want string) *Block {
+	for _, blk := range g.Blocks {
+		if !blk.Live {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if strings.Contains(nodeText(n, fset), want) {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// hasEdge reports a direct edge a→b.
+func hasEdge(a, b *Block) bool {
+	for _, e := range a.Succs {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether b is reachable from a.
+func reaches(a, b *Block) bool {
+	seen := map[*Block]bool{a: true}
+	stack := []*Block{a}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == b {
+			return true
+		}
+		for _, e := range blk.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+func TestIfElseEdges(t *testing.T) {
+	g, fset := buildFunc(t, `
+		x := 1
+		if x > 0 {
+			a()
+		} else {
+			b()
+		}
+		c()
+	`)
+	condBlk := liveBlockWith(g, fset, "x > 0")
+	thenBlk := liveBlockWith(g, fset, "a()")
+	elseBlk := liveBlockWith(g, fset, "b()")
+	afterBlk := liveBlockWith(g, fset, "c()")
+	if condBlk == nil || thenBlk == nil || elseBlk == nil || afterBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	var sawTrue, sawFalse bool
+	for _, e := range condBlk.Succs {
+		if e.Cond == nil {
+			continue
+		}
+		if e.Branch && e.To == thenBlk {
+			sawTrue = true
+		}
+		if !e.Branch && e.To == elseBlk {
+			sawFalse = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Errorf("cond block lacks labeled branch edges (true=%v false=%v)", sawTrue, sawFalse)
+	}
+	if !reaches(thenBlk, afterBlk) || !reaches(elseBlk, afterBlk) {
+		t.Error("branches do not rejoin")
+	}
+}
+
+func TestLabeledBreakEscapesBothLoops(t *testing.T) {
+	g, fset := buildFunc(t, `
+	outer:
+		for i := 0; i < 10; i++ {
+			for {
+				if done() {
+					break outer
+				}
+				inner()
+			}
+		}
+		after()
+	`)
+	brkBlk := liveBlockWith(g, fset, "done()")
+	innerBlk := liveBlockWith(g, fset, "inner()")
+	afterBlk := liveBlockWith(g, fset, "after()")
+	if brkBlk == nil || innerBlk == nil || afterBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(brkBlk, afterBlk) {
+		t.Error("break outer does not reach the code after the outer loop")
+	}
+	// The inner `for {}` has no condition: after() must not be
+	// reachable from inner() without passing the labeled break.
+	if !reaches(innerBlk, brkBlk) {
+		t.Error("inner body does not loop back through the break check")
+	}
+}
+
+func TestLabeledContinueTargetsOuterPost(t *testing.T) {
+	g, fset := buildFunc(t, `
+	loop:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if skip() {
+					continue loop
+				}
+				work()
+			}
+		}
+		end()
+	`)
+	contBlk := liveBlockWith(g, fset, "skip()")
+	postBlk := liveBlockWith(g, fset, "i++")
+	if contBlk == nil || postBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	// The continue's true-branch successor must lead to the outer post
+	// (i++) without passing work().
+	workBlk := liveBlockWith(g, fset, "work()")
+	var contSucc *Block
+	for _, e := range contBlk.Succs {
+		if e.Cond != nil && e.Branch {
+			contSucc = e.To
+		}
+	}
+	if contSucc == nil {
+		t.Fatal("no true-branch successor of the continue guard")
+	}
+	if !reaches(contSucc, postBlk) {
+		t.Error("continue loop does not reach the outer post statement")
+	}
+	if contSucc == workBlk {
+		t.Error("continue fell through into the loop body")
+	}
+}
+
+func TestSelectEdges(t *testing.T) {
+	g, fset := buildFunc(t, `
+		select {
+		case v := <-in:
+			use(v)
+		case out <- 1:
+			sent()
+		}
+		after()
+	`)
+	useBlk := liveBlockWith(g, fset, "use(v)")
+	sentBlk := liveBlockWith(g, fset, "sent()")
+	afterBlk := liveBlockWith(g, fset, "after()")
+	if useBlk == nil || sentBlk == nil || afterBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(useBlk, afterBlk) || !reaches(sentBlk, afterBlk) {
+		t.Error("select clauses do not rejoin after the select")
+	}
+	// Every path into after() goes through a clause: the entry must not
+	// have a direct edge to the after block (no default clause).
+	if hasEdge(g.Entry, afterBlk) {
+		t.Error("select without default has a fall-past edge")
+	}
+}
+
+func TestSelectDefaultFallsPast(t *testing.T) {
+	g, fset := buildFunc(t, `
+		select {
+		case <-in:
+			got()
+		default:
+			idle()
+		}
+		after()
+	`)
+	idleBlk := liveBlockWith(g, fset, "idle()")
+	afterBlk := liveBlockWith(g, fset, "after()")
+	if idleBlk == nil || afterBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(idleBlk, afterBlk) {
+		t.Error("default clause does not reach the code after the select")
+	}
+}
+
+func TestDeferCollectedAndInBlock(t *testing.T) {
+	g, fset := buildFunc(t, `
+		open()
+		defer close1()
+		if cond() {
+			defer close2()
+		}
+		work()
+	`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if liveBlockWith(g, fset, "defer close1()") == nil {
+		t.Error("defer statement missing from its block")
+	}
+	// The conditional defer sits in the then-block, not the entry.
+	d2 := liveBlockWith(g, fset, "defer close2()")
+	if d2 == g.Entry {
+		t.Error("conditional defer landed in the entry block")
+	}
+}
+
+func TestPanicEndsBlockWithPanicEdge(t *testing.T) {
+	g, fset := buildFunc(t, `
+		a()
+		if bad() {
+			panic("boom")
+		}
+		b()
+	`)
+	panicBlk := liveBlockWith(g, fset, `panic("boom")`)
+	if panicBlk == nil {
+		t.Fatal("missing panic block")
+	}
+	var kinds []EdgeKind
+	for _, e := range panicBlk.Succs {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 1 || kinds[0] != EdgePanic {
+		t.Errorf("panic block edges = %v, want one EdgePanic to exit", kinds)
+	}
+	if b := liveBlockWith(g, fset, "b()"); b == nil {
+		t.Error("code after the if (non-panic path) should stay live")
+	}
+}
+
+func TestReturnMakesTrailingCodeDead(t *testing.T) {
+	g, fset := buildFunc(t, `
+		a()
+		return
+		b()
+	`)
+	if liveBlockWith(g, fset, "b()") != nil {
+		t.Error("statement after an unconditional return is marked live")
+	}
+	// b() still has a home in a dead block.
+	found := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if strings.Contains(nodeText(n, fset), "b()") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("dead statement dropped from the graph entirely")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g, fset := buildFunc(t, `
+		switch x() {
+		case 1:
+			one()
+			fallthrough
+		case 2:
+			two()
+		default:
+			other()
+		}
+		after()
+	`)
+	oneBlk := liveBlockWith(g, fset, "one()")
+	twoBlk := liveBlockWith(g, fset, "two()")
+	afterBlk := liveBlockWith(g, fset, "after()")
+	if oneBlk == nil || twoBlk == nil || afterBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !hasEdge(oneBlk, twoBlk) {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+	if !reaches(twoBlk, afterBlk) {
+		t.Error("case 2 does not reach the code after the switch")
+	}
+}
+
+func TestGotoForwardEdge(t *testing.T) {
+	g, fset := buildFunc(t, `
+		a()
+		if c() {
+			goto done
+		}
+		b()
+	done:
+		end()
+	`)
+	gotoBlk := liveBlockWith(g, fset, "c()")
+	endBlk := liveBlockWith(g, fset, "end()")
+	bBlk := liveBlockWith(g, fset, "b()")
+	if gotoBlk == nil || endBlk == nil || bBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(gotoBlk, endBlk) {
+		t.Error("goto does not reach its label")
+	}
+	if !reaches(bBlk, endBlk) {
+		t.Error("fallthrough path does not reach the label")
+	}
+}
+
+func TestRangeLoopEdges(t *testing.T) {
+	g, fset := buildFunc(t, `
+		for _, v := range xs {
+			use(v)
+		}
+		end()
+	`)
+	bodyBlk := liveBlockWith(g, fset, "use(v)")
+	endBlk := liveBlockWith(g, fset, "end()")
+	if bodyBlk == nil || endBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(bodyBlk, bodyBlk) {
+		t.Error("range body does not loop")
+	}
+	if !reaches(bodyBlk, endBlk) {
+		t.Error("range body cannot reach loop exit")
+	}
+}
+
+// TestSolveReachingCalls runs a trivial dataflow (set of called
+// function names) end to end: both branches' calls merge at the join.
+func TestSolveReachingCalls(t *testing.T) {
+	g, fset := buildFunc(t, `
+		if c() {
+			a()
+		} else {
+			b()
+		}
+		after()
+	`)
+	type fact = map[string]bool
+	fl := Flow[fact]{
+		Entry: fact{},
+		Join: func(a, b fact) fact {
+			for k := range b {
+				a[k] = true
+			}
+			return a
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(f fact) fact {
+			c := make(fact, len(f))
+			for k := range f {
+				c[k] = true
+			}
+			return c
+		},
+		Transfer: func(n Node, f fact) fact {
+			ast.Inspect(n.N, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						f[id.Name] = true
+					}
+				}
+				return true
+			})
+			return f
+		},
+	}
+	in := Solve(g, fl)
+	afterBlk := liveBlockWith(g, fset, "after()")
+	if afterBlk == nil {
+		t.Fatal("missing after block")
+	}
+	f := in[afterBlk]
+	for _, want := range []string{"c", "a", "b"} {
+		if !f[want] {
+			t.Errorf("fact at join lacks %q: %v", want, f)
+		}
+	}
+	exits := Exits(g, fl, in)
+	if len(exits) == 0 {
+		t.Fatal("no exit facts")
+	}
+	for _, ef := range exits {
+		if !ef.Fact["after"] {
+			t.Errorf("exit fact lacks \"after\": %v", ef.Fact)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz dot syntax, one node per block
+// with its statements summarised, for `spatiallint -cfg-debug <func>`.
+// Branch edges are labeled with the condition and leg they follow;
+// return and panic edges are labeled by kind.
+func Dot(g *Graph, fset *token.FileSet, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [shape=box fontname=monospace];\n")
+	for _, blk := range g.Blocks {
+		var lines []string
+		lines = append(lines, fmt.Sprintf("b%d %s", blk.Index, blk.Comment))
+		for _, n := range blk.Nodes {
+			lines = append(lines, escape(render(n, fset)))
+		}
+		attrs := ""
+		if !blk.Live {
+			attrs = " style=dashed"
+		}
+		// \l is dot's left-justified line break; it must reach the
+		// output unescaped, so the label is quoted by hand.
+		fmt.Fprintf(&sb, "  b%d [label=\"%s\"%s];\n", blk.Index, strings.Join(lines, `\l`)+`\l`, attrs)
+	}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			label := ""
+			switch {
+			case e.Cond != nil:
+				label = fmt.Sprintf("%s=%v", escape(render(e.Cond, fset)), e.Branch)
+			case e.Kind == EdgeReturn:
+				label = "return"
+			case e.Kind == EdgePanic:
+				label = "panic"
+			}
+			if label != "" {
+				fmt.Fprintf(&sb, "  b%d -> b%d [label=\"%s\"];\n", blk.Index, e.To.Index, label)
+			} else {
+				fmt.Fprintf(&sb, "  b%d -> b%d;\n", blk.Index, e.To.Index)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// escape makes s safe inside a double-quoted dot string.
+var dotEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+
+func escape(s string) string { return dotEscaper.Replace(s) }
+
+// render prints a node compactly (first line only, capped).
+func render(n ast.Node, fset *token.FileSet) string {
+	var sb strings.Builder
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&sb, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := sb.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"spatialtf/internal/analysis/cfg"
 )
 
 // CursorClose enforces the paper's start–fetch–close discipline (§3) on
@@ -17,13 +19,21 @@ import (
 // covers storage.Cursor implementations, the wire client's remote
 // Cursor, and spatialtf.JoinCursor alike, without naming any of them.
 //
+// The rule is a forward dataflow over the function's CFG. The fact is
+// the set of open cursors on the current path; Close (or Collect, or a
+// deferred close), and every form of hand-off, discharge the
+// obligation. Branch-condition refinement excuses the open's own error
+// path: on an edge where `err != nil` holds for the error returned by
+// the open itself, the cursor was never live, so the obligation is
+// dropped — but only while the cursor is unused, so a later `err !=
+// nil` from a Next call does not wrongly excuse a live cursor.
+//
 // Two findings:
 //
 //   - a cursor-typed local initialized from a call that is never Closed
-//     and never escapes;
-//   - a cursor Closed only by a non-deferred call, with a return
-//     statement between the open and the close that is not the open's
-//     own error check — the early return leaks the cursor.
+//     and never escapes anywhere in the function;
+//   - a return path on which an obligation is still live — the early
+//     return leaks the cursor.
 var CursorClose = &Analyzer{
 	Name: "cursorclose",
 	Doc:  "an opened cursor must be Closed on every path, including error returns",
@@ -62,18 +72,6 @@ func isCursorType(t types.Type) bool {
 	return hasClose && hasAdvance
 }
 
-// opened is one tracked cursor variable.
-type opened struct {
-	obj     types.Object
-	name    string
-	pos     token.Pos // the opening statement
-	errObj  types.Object
-	closed  bool // any Close (or closing method) reached it
-	defClos bool // closed via defer
-	escaped bool
-	close1  token.Pos // first non-deferred Close
-}
-
 // closingMethods are selector calls on the cursor that discharge the
 // close obligation themselves.
 var closingMethods = map[string]bool{
@@ -81,7 +79,26 @@ var closingMethods = map[string]bool{
 	"Collect": true, // JoinCursor.Collect closes the cursor
 }
 
-func runCursorClose(pkg *Pkg) []Diag {
+// openInfo is one tracked cursor-typed local: where it was opened and
+// which error variable (if any) the same assignment produced.
+type openInfo struct {
+	obj    types.Object
+	name   string
+	pos    token.Pos
+	errObj types.Object
+	assign *ast.AssignStmt
+}
+
+// cursorFact is the per-cursor dataflow state on one path.
+type cursorFact struct {
+	openPos token.Pos
+	used    bool // a non-closing method has been called
+}
+
+type closeFact map[types.Object]cursorFact
+
+func runCursorClose(pass *Pass) []Diag {
+	pkg := pass.Pkg
 	var diags []Diag
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -108,7 +125,8 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 
 	// Pass 1: find cursor-typed locals defined from calls in this body
 	// (not in nested function literals, which are analyzed separately).
-	var tracked []*opened
+	var tracked []*openInfo
+	openAt := make(map[*ast.AssignStmt][]*openInfo)
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || as.Tok != token.DEFINE {
@@ -154,19 +172,24 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 			if obj == nil || !isCursorType(obj.Type()) {
 				continue
 			}
-			tracked = append(tracked, &opened{obj: obj, name: id.Name, pos: as.Pos(), errObj: errObj})
+			o := &openInfo{obj: obj, name: id.Name, pos: as.Pos(), errObj: errObj, assign: as}
+			tracked = append(tracked, o)
+			openAt[as] = append(openAt[as], o)
 		}
 		return true
 	})
 	if len(tracked) == 0 {
 		return nil
 	}
-	byObj := make(map[types.Object]*opened, len(tracked))
+	byObj := make(map[types.Object]*openInfo, len(tracked))
 	for _, o := range tracked {
 		byObj[o.obj] = o
 	}
 
-	// Pass 2: classify every use of each tracked variable.
+	// A cursor with no discharging use anywhere in the body — no Close,
+	// no Collect, no hand-off — gets the blunt finding at its open; the
+	// path analysis below handles the rest.
+	discharged := make(map[types.Object]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok {
@@ -176,66 +199,211 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 		if o == nil {
 			return true
 		}
-		switch p := parents[id].(type) {
-		case *ast.SelectorExpr:
-			if p.X != id {
-				return true
-			}
-			call, isCall := parents[p].(*ast.CallExpr)
-			if isCall && call.Fun == p {
-				if closingMethods[p.Sel.Name] {
-					o.closed = true
-					if underDefer(parents, call, body) {
-						o.defClos = true
-					} else if o.close1 == token.NoPos {
-						o.close1 = call.Pos()
-					}
-				}
-				// Next/Fetch/Columns/...: plain use.
-				return true
-			}
-			// Method value (cur.Close passed around): hand-off.
-			o.escaped = true
-		case *ast.AssignStmt:
-			for _, rhs := range p.Rhs {
-				if rhs == ast.Expr(id) {
-					o.escaped = true // stored into something else
-				}
-			}
-		default:
-			if id.Pos() > o.pos {
-				// Any other use — call argument, return value, composite
-				// literal, channel send, &cur — transfers ownership as far
-				// as this heuristic linter is concerned.
-				o.escaped = true
-			}
+		if kind, _ := classifyUse(info, parents, id); kind != useAdvance {
+			discharged[o.obj] = true
 		}
 		return true
 	})
 
 	var diags []Diag
 	for _, o := range tracked {
-		if o.escaped {
-			continue
-		}
-		if !o.closed {
+		if !discharged[o.obj] {
 			diags = append(diags, diag(pkg, "cursorclose", o.pos,
 				"cursor %q is opened here but never Closed and never escapes; the cursor contract requires Close on every path", o.name))
+		}
+	}
+
+	// Pass 2: CFG dataflow over the cursors that do have some discharge,
+	// looking for return paths that miss it.
+	g := cfg.Build(body)
+	fl := cfg.Flow[closeFact]{
+		Entry: closeFact{},
+		Join: func(a, b closeFact) closeFact {
+			for obj, cf := range b {
+				if prev, ok := a[obj]; ok {
+					if cf.openPos < prev.openPos {
+						prev.openPos = cf.openPos
+					}
+					prev.used = prev.used || cf.used
+					a[obj] = prev
+				} else {
+					a[obj] = cf
+				}
+			}
+			return a
+		},
+		Equal: func(a, b closeFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for obj, cf := range a {
+				if other, ok := b[obj]; !ok || other != cf {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(f closeFact) closeFact {
+			c := make(closeFact, len(f))
+			for obj, cf := range f {
+				c[obj] = cf
+			}
+			return c
+		},
+		Transfer: func(n cfg.Node, f closeFact) closeFact {
+			if as, ok := n.N.(*ast.AssignStmt); ok {
+				for _, o := range openAt[as] {
+					if discharged[o.obj] {
+						f[o.obj] = cursorFact{openPos: o.pos}
+					}
+				}
+			}
+			ast.Inspect(n.N, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				o := byObj[info.Uses[id]]
+				if o == nil {
+					return true
+				}
+				if _, live := f[o.obj]; !live {
+					return true
+				}
+				switch kind, _ := classifyUse(info, parents, id); kind {
+				case useAdvance:
+					cf := f[o.obj]
+					cf.used = true
+					f[o.obj] = cf
+				default:
+					delete(f, o.obj)
+				}
+				return true
+			})
+			return f
+		},
+		Edge: func(e cfg.Edge, f closeFact) closeFact {
+			// The open's own error path: `err != nil` holding means the
+			// open failed and the cursor was never live. Only before any
+			// use — afterwards err is some later call's error.
+			errObj := errNonNilOn(info, e)
+			if errObj == nil {
+				return f
+			}
+			for obj, cf := range f {
+				if o := byObj[obj]; o != nil && o.errObj == errObj && !cf.used {
+					delete(f, obj)
+				}
+			}
+			return f
+		},
+	}
+	in := cfg.Solve(g, fl)
+	for _, ef := range cfg.Exits(g, fl, in) {
+		if ef.Edge.Kind != cfg.EdgeReturn {
 			continue
 		}
-		if o.defClos || o.close1 == token.NoPos {
-			continue
+		retPos := body.End()
+		if len(ef.Block.Nodes) > 0 {
+			if ret, ok := ef.Block.Nodes[len(ef.Block.Nodes)-1].(*ast.ReturnStmt); ok {
+				retPos = ret.Pos()
+			}
 		}
-		// Closed only by plain calls: look for an early return between
-		// the open and the first close that is not the open's own error
-		// check.
-		if ret := earlyReturn(pkg, body, parents, o); ret != token.NoPos {
-			diags = append(diags, diag(pkg, "cursorclose", ret,
-				"return leaks cursor %q (opened at line %d, Closed only at line %d): Close it on this path or use defer",
-				o.name, pkg.Fset.Position(o.pos).Line, pkg.Fset.Position(o.close1).Line))
+		for obj, cf := range ef.Fact {
+			o := byObj[obj]
+			if o == nil {
+				continue
+			}
+			diags = append(diags, diag(pkg, "cursorclose", retPos,
+				"return leaks cursor %q (opened at line %d): Close it on this path or use defer",
+				o.name, pkg.Fset.Position(cf.openPos).Line))
 		}
 	}
 	return diags
+}
+
+// useKind classifies one identifier occurrence of a tracked cursor.
+type useKind int
+
+const (
+	// useAdvance is a non-closing method call (Next, Fetch, Columns...):
+	// the cursor stays live and is marked used.
+	useAdvance useKind = iota
+	// useClose is a Close/Collect call (possibly deferred).
+	useClose
+	// useEscape hands the cursor off: stored, passed, returned, captured
+	// by a closure, or its Close taken as a method value.
+	useEscape
+)
+
+// classifyUse decides what an identifier occurrence does to the
+// cursor's obligation.
+func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident) (useKind, *ast.CallExpr) {
+	// A reference from inside a nested function literal is a capture:
+	// the closure owns (or shares) the cursor now, whatever it does
+	// with it.
+	for p := parents[id]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return useEscape, nil
+		}
+	}
+	switch p := parents[id].(type) {
+	case *ast.SelectorExpr:
+		if p.X != ast.Expr(id) {
+			return useEscape, nil
+		}
+		if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
+			if closingMethods[p.Sel.Name] {
+				return useClose, call
+			}
+			return useAdvance, call
+		}
+		// Method value (cur.Close passed around): hand-off.
+		return useEscape, nil
+	default:
+		return useEscape, nil
+	}
+}
+
+// errNonNilOn returns the error object that is known non-nil along e
+// (the true leg of `err != nil` or the false leg of `err == nil`), or
+// nil.
+func errNonNilOn(info *types.Info, e cfg.Edge) types.Object {
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	var nonNilBranch bool
+	switch bin.Op {
+	case token.NEQ:
+		nonNilBranch = true
+	case token.EQL:
+		nonNilBranch = false
+	default:
+		return nil
+	}
+	if e.Branch != nonNilBranch {
+		return nil
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(y) {
+	} else if isNilIdent(x) {
+		x = y
+	} else {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return obj
+	}
+	return nil
 }
 
 // enclosingFuncBody returns the nearest enclosing function body of n.
@@ -252,65 +420,4 @@ func enclosingFuncBody(parents map[ast.Node]ast.Node, n ast.Node, root *ast.Bloc
 		}
 	}
 	return root
-}
-
-// underDefer reports whether n sits inside a DeferStmt (directly or via
-// a deferred closure) within body.
-func underDefer(parents map[ast.Node]ast.Node, n ast.Node, body *ast.BlockStmt) bool {
-	for p := parents[n]; p != nil && p != ast.Node(body); p = parents[p] {
-		if _, ok := p.(*ast.DeferStmt); ok {
-			return true
-		}
-	}
-	return false
-}
-
-// earlyReturn finds a return statement positioned between o's open and
-// first close that does not consult the open's own error, i.e. a path
-// on which the cursor is live but not yet closed.
-func earlyReturn(pkg *Pkg, body *ast.BlockStmt, parents map[ast.Node]ast.Node, o *opened) token.Pos {
-	found := token.NoPos
-	ast.Inspect(body, func(n ast.Node) bool {
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
-			return true
-		}
-		if ret.Pos() <= o.pos || ret.Pos() >= o.close1 || found != token.NoPos {
-			return true
-		}
-		if enclosingFuncBody(parents, ret, body) != body {
-			return true
-		}
-		// The open's own error check — `if err != nil { return ... }`
-		// immediately guarding the open — is the one return on which the
-		// cursor is not live.
-		if o.errObj != nil && guardsError(pkg, parents, ret, o.errObj) {
-			return true
-		}
-		found = ret.Pos()
-		return true
-	})
-	return found
-}
-
-// guardsError reports whether ret sits in an if whose condition uses
-// errObj.
-func guardsError(pkg *Pkg, parents map[ast.Node]ast.Node, ret *ast.ReturnStmt, errObj types.Object) bool {
-	for p := parents[ret]; p != nil; p = parents[p] {
-		ifs, ok := p.(*ast.IfStmt)
-		if !ok {
-			continue
-		}
-		uses := false
-		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == errObj {
-				uses = true
-			}
-			return true
-		})
-		if uses {
-			return true
-		}
-	}
-	return false
 }

@@ -24,7 +24,8 @@ var FloatEq = &Analyzer{
 	Run:  runFloatEq,
 }
 
-func runFloatEq(pkg *Pkg) []Diag {
+func runFloatEq(pass *Pass) []Diag {
+	pkg := pass.Pkg
 	if pkg.Path == "spatialtf/internal/geom" || strings.HasSuffix(pkg.Path, "/internal/geom") {
 		return nil
 	}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoLeak polices goroutine accounting in the packages that actually
+// spawn them: the server's connection machinery and the parallel join
+// workers. The paper's table functions are finite cursors — start,
+// fetch until exhausted, close — so every goroutine backing one must
+// have a join point; a worker with no WaitGroup, no channel, and no
+// shutdown tie outlives its cursor and accumulates forever under load.
+//
+// A `go` statement passes when the launched work is accounted for:
+//
+//   - a function literal whose body (or argument list) carries
+//     evidence — sync.WaitGroup Add/Done/Wait, any channel operation
+//     (send, receive, close, range over a channel), or a select;
+//   - a named function or method whose module summary says the same,
+//     transitively (a callee that blocks on the shutdown channel
+//     accounts for its caller's goroutine).
+//
+// The rule is deliberately scoped: most packages here never spawn, and
+// a repo-wide net would mostly catch test helpers. Widening the scope
+// is a one-line change.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in the server/join machinery must be joined via WaitGroup/channel or tied to a shutdown path",
+	Run:  runGoLeak,
+}
+
+// goleakScoped reports whether the rule watches this package: the
+// goroutine-spawning layers, plus the rule's own golden fixture.
+func goleakScoped(path string) bool {
+	for _, suffix := range []string{
+		"internal/server",
+		"internal/sjoin",
+		"internal/tablefunc",
+		"testdata/src/goleak",
+	} {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoLeak(pass *Pass) []Diag {
+	pkg := pass.Pkg
+	if !goleakScoped(pkg.Path) {
+		return nil
+	}
+	var diags []Diag
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goAccounted(pkg, pass.Mod, g) {
+				return true
+			}
+			diags = append(diags, diag(pkg, "goleak", g.Pos(),
+				"goroutine is not joined: no WaitGroup bookkeeping, channel operation, or accounted callee ties it to a shutdown path"))
+			return true
+		})
+	}
+	return diags
+}
+
+// goAccounted reports whether the goroutine launched by g carries
+// accounting evidence.
+func goAccounted(pkg *Pkg, mod *Module, g *ast.GoStmt) bool {
+	// Arguments are evaluated at spawn; a channel or WaitGroup handed
+	// in as an argument is evidence too.
+	for _, arg := range g.Call.Args {
+		if bodyAccounted(pkg, arg, mod) {
+			return true
+		}
+	}
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return bodyAccounted(pkg, fun.Body, mod)
+	default:
+		if fn := calleeFunc(pkg.Info, g.Call); fn != nil {
+			if sum := mod.SummaryOf(fn); sum != nil {
+				return sum.Accounted
+			}
+		}
+	}
+	return false
+}

@@ -40,7 +40,8 @@ func syncLockMethod(pkg *Pkg, sel *ast.SelectorExpr) (recvKey, method string, ok
 	return "", "", false
 }
 
-func runLockDiscipline(pkg *Pkg) []Diag {
+func runLockDiscipline(pass *Pass) []Diag {
+	pkg := pass.Pkg
 	var diags []Diag
 	for _, f := range pkg.Files {
 		for _, body := range funcScopes(f) {

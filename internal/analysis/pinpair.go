@@ -3,6 +3,9 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
+
+	"spatialtf/internal/analysis/cfg"
 )
 
 // PinPair enforces the R-tree pin contract (DESIGN.md §10): a
@@ -12,25 +15,28 @@ import (
 // after it, one of the following holds:
 //
 //   - a `defer recv.Unpin()` (directly or inside a deferred closure)
-//     has been registered;
+//     has been registered on the path;
 //   - `recv.Unpin()` has been called on the path;
 //   - the path hands the release to the caller: `recv.Unpin` escapes as
 //     a method value, or a function literal that calls it escapes (the
 //     pinTrees pattern in join.go, which returns the unpin closure for
 //     the join cursor's Close).
 //
-// The check is a linear walk in syntactic order, not a full CFG: it is
-// deliberately conservative about branches (a release inside one arm of
-// an if does not count for the code after it), which is exactly the
-// discipline the hand-written code follows.
+// The rule is a forward dataflow over the function's CFG: the fact is
+// the set of receivers pinned on the current path plus the deferred
+// releases registered on it, release events remove pins, and any
+// receiver still pinned and not deferred on a return edge is a leak.
+// Paths that end in panic are exempt — the pin dies with the process,
+// and the recover story belongs to the server loop, not the pin
+// holder.
 var PinPair = &Analyzer{
 	Name: "pinpair",
 	Doc:  "every rtree.Tree.Pin() must be released via defer/all-paths Unpin or an escaping release func",
 	Run:  runPinPair,
 }
 
-// isTreePinCall reports whether sel resolves to rtree.Tree.Pin/Unpin
-// (by method name); returns the receiver expression key.
+// treePinMethod resolves sel to rtree.Tree.Pin/Unpin (by method name);
+// returns the receiver expression key.
 func treePinMethod(pkg *Pkg, sel *ast.SelectorExpr) (recvKey, method string, ok bool) {
 	recv, fn := selectorObj(pkg.Info, sel)
 	if fn == nil || recv == nil {
@@ -49,233 +55,178 @@ func treePinMethod(pkg *Pkg, sel *ast.SelectorExpr) (recvKey, method string, ok 
 	return exprString(recv), fn.Name(), true
 }
 
-func runPinPair(pkg *Pkg) []Diag {
+// pinFact is the dataflow fact: which receivers are pinned on this
+// path (keyed to their Pin position) and which have a deferred release
+// registered. Deferred releases are tracked separately because a defer
+// discharges every pin on the path regardless of registration order —
+// a defer registered before the Pin, or once before a loop that
+// re-pins, still runs at exit.
+type pinFact struct {
+	pinned   map[string]token.Pos
+	deferred map[string]bool
+}
+
+func runPinPair(pass *Pass) []Diag {
+	pkg := pass.Pkg
 	var diags []Diag
-	reported := make(map[token.Pos]bool)
 	for _, f := range pkg.Files {
 		for _, body := range funcScopes(f) {
-			w := &pinWalker{
-				pkg:      pkg,
-				body:     body,
-				pinned:   make(map[string]token.Pos),
-				deferred: make(map[string]bool),
-				escaped:  collectEscapedUnpins(pkg, body),
-				reported: reported,
-			}
-			w.walkStmts(body.List)
-			w.checkReturnPoint(body.End(), nil)
-			diags = append(diags, w.diags...)
+			diags = append(diags, pinPairFunc(pkg, body)...)
 		}
 	}
 	return diags
 }
 
-// collectEscapedUnpins finds receivers whose Unpin escapes from body as
-// a value: referenced without being called (a method value), or called
-// inside a function literal (the literal itself is the escaping release
-// func). Each escape is recorded at its position: an escape only
-// discharges a Pin acquired before it (a `return t.Unpin` in an early
-// branch must not excuse a later, unrelated `t.Pin()`). Deferred calls
-// are handled by the walker, not here.
-func collectEscapedUnpins(pkg *Pkg, body *ast.BlockStmt) map[string][]token.Pos {
-	escaped := make(map[string][]token.Pos)
-	parents := parentMap(body)
-	ast.Inspect(body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		recvKey, method, ok := treePinMethod(pkg, sel)
-		if !ok || method != "Unpin" {
-			return true
-		}
-		// Called directly? Then it is a release event for the walker
-		// unless the call sits inside a nested function literal.
-		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
-			for p := parents[call]; p != nil && p != body; p = parents[p] {
-				if _, isLit := p.(*ast.FuncLit); isLit {
-					escaped[recvKey] = append(escaped[recvKey], sel.Pos())
-					return true
+func pinPairFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
+	g := cfg.Build(body)
+	fl := cfg.Flow[pinFact]{
+		Entry: pinFact{pinned: map[string]token.Pos{}, deferred: map[string]bool{}},
+		Join: func(a, b pinFact) pinFact {
+			// Union, keeping the earliest pin position: pinned on either
+			// path means the obligation is live at the join. Deferred
+			// releases also union — joining a covered path with an
+			// uncovered one must not lose the uncovered path's pin, and
+			// it cannot, because pins and defers union independently.
+			for k, p := range b.pinned {
+				if q, ok := a.pinned[k]; !ok || p < q {
+					a.pinned[k] = p
 				}
 			}
-			return true
+			for k := range b.deferred {
+				a.deferred[k] = true
+			}
+			return a
+		},
+		Equal: pinFactEqual,
+		Clone: func(f pinFact) pinFact {
+			c := pinFact{
+				pinned:   make(map[string]token.Pos, len(f.pinned)),
+				deferred: make(map[string]bool, len(f.deferred)),
+			}
+			for k, p := range f.pinned {
+				c.pinned[k] = p
+			}
+			for k := range f.deferred {
+				c.deferred[k] = true
+			}
+			return c
+		},
+		Transfer: func(n cfg.Node, f pinFact) pinFact {
+			return pinTransfer(pkg, n.N, f)
+		},
+	}
+	in := cfg.Solve(g, fl)
+
+	// A pin is reported once, at its Pin call, naming the first return
+	// path that leaks it.
+	type leak struct {
+		recvKey string
+		retLine int
+	}
+	leaks := make(map[token.Pos]leak)
+	for _, ef := range cfg.Exits(g, fl, in) {
+		if ef.Edge.Kind != cfg.EdgeReturn {
+			continue
 		}
-		// Method value: recv.Unpin used as a first-class function.
-		escaped[recvKey] = append(escaped[recvKey], sel.Pos())
+		retLine := pkg.Fset.Position(body.End()).Line
+		if len(ef.Block.Nodes) > 0 {
+			if ret, ok := ef.Block.Nodes[len(ef.Block.Nodes)-1].(*ast.ReturnStmt); ok {
+				retLine = pkg.Fset.Position(ret.Pos()).Line
+			}
+		}
+		for recvKey, pinPos := range ef.Fact.pinned {
+			if ef.Fact.deferred[recvKey] {
+				continue
+			}
+			if l, ok := leaks[pinPos]; !ok || retLine < l.retLine {
+				leaks[pinPos] = leak{recvKey: recvKey, retLine: retLine}
+			}
+		}
+	}
+	poss := make([]token.Pos, 0, len(leaks))
+	for p := range leaks {
+		poss = append(poss, p)
+	}
+	sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+	var diags []Diag
+	for _, p := range poss {
+		l := leaks[p]
+		diags = append(diags, diag(pkg, "pinpair", p,
+			"%s.Pin() is not released on the return path at line %d: pair it with a defer %s.Unpin() or release it on every path",
+			l.recvKey, l.retLine, l.recvKey))
+	}
+	return diags
+}
+
+// pinTransfer applies one CFG node's pin/release events to f. Pin
+// calls inside nested function literals belong to the literal's own
+// scope and are skipped; an Unpin occurrence in any form — a direct
+// call, a method value, or a function literal whose body calls it (an
+// escaping release closure) — releases the receiver on this path, and
+// a defer containing one registers a deferred release.
+func pinTransfer(pkg *Pkg, node ast.Node, f pinFact) pinFact {
+	if d, ok := node.(*ast.DeferStmt); ok {
+		for _, recvKey := range unpinKeysIn(pkg, d.Call) {
+			f.deferred[recvKey] = true
+			delete(f.pinned, recvKey)
+		}
+		return f
+	}
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			for _, recvKey := range unpinKeysIn(pkg, x.Body) {
+				delete(f.pinned, recvKey)
+			}
+			return false
+		case *ast.SelectorExpr:
+			recvKey, method, ok := treePinMethod(pkg, x)
+			if !ok {
+				return true
+			}
+			if method == "Unpin" {
+				delete(f.pinned, recvKey)
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if recvKey, method, ok := treePinMethod(pkg, sel); ok && method == "Pin" {
+					f.pinned[recvKey] = x.Pos()
+				}
+			}
+		}
 		return true
 	})
-	return escaped
+	return f
 }
 
-// pinWalker walks one function body in syntactic order tracking which
-// receivers are pinned.
-type pinWalker struct {
-	pkg      *Pkg
-	body     *ast.BlockStmt
-	pinned   map[string]token.Pos
-	deferred map[string]bool
-	escaped  map[string][]token.Pos
-	reported map[token.Pos]bool
-	diags    []Diag
-}
-
-func (w *pinWalker) walkStmts(stmts []ast.Stmt) {
-	for _, s := range stmts {
-		w.walkStmt(s)
-	}
-}
-
-func (w *pinWalker) walkStmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.DeferStmt:
-		w.handleDefer(s)
-	case *ast.ReturnStmt:
-		w.handlePinEvents(s) // e.g. return pinAndGet() — none in practice
-		w.checkReturnPoint(s.Pos(), s)
-	case *ast.BlockStmt:
-		w.walkStmts(s.List)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.handlePinEventsExpr(s.Cond)
-		w.walkStmt(s.Body)
-		if s.Else != nil {
-			w.walkStmt(s.Else)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.walkStmt(s.Body)
-		if s.Post != nil {
-			w.walkStmt(s.Post)
-		}
-	case *ast.RangeStmt:
-		w.walkStmt(s.Body)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.walkStmt(s.Body)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.walkStmt(s.Body)
-	case *ast.SelectStmt:
-		w.walkStmt(s.Body)
-	case *ast.CaseClause:
-		w.walkStmts(s.Body)
-	case *ast.CommClause:
-		w.walkStmts(s.Body)
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt)
-	default:
-		w.handlePinEvents(s)
-	}
-}
-
-// handleDefer processes defer recv.Unpin() and deferred closures that
-// call Unpin.
-func (w *pinWalker) handleDefer(s *ast.DeferStmt) {
-	if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
-		if recvKey, method, ok := treePinMethod(w.pkg, sel); ok && method == "Unpin" {
-			w.deferred[recvKey] = true
-			return
-		}
-	}
-	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if sel, ok := n.(*ast.SelectorExpr); ok {
-				if recvKey, method, ok := treePinMethod(w.pkg, sel); ok && method == "Unpin" {
-					w.deferred[recvKey] = true
-				}
+// unpinKeysIn collects the receiver keys of every Unpin selector under
+// n (including inside nested literals).
+func unpinKeysIn(pkg *Pkg, n ast.Node) []string {
+	var keys []string
+	ast.Inspect(n, func(x ast.Node) bool {
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			if recvKey, method, ok := treePinMethod(pkg, sel); ok && method == "Unpin" {
+				keys = append(keys, recvKey)
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
+	return keys
 }
 
-// handlePinEvents scans one statement (not descending into nested
-// function literals) for direct Pin/Unpin calls.
-func (w *pinWalker) handlePinEvents(s ast.Stmt) {
-	ast.Inspect(s, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
+func pinFactEqual(a, b pinFact) bool {
+	if len(a.pinned) != len(b.pinned) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k, p := range a.pinned {
+		if q, ok := b.pinned[k]; !ok || p != q {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		recvKey, method, ok := treePinMethod(w.pkg, sel)
-		if !ok {
-			return true
-		}
-		switch method {
-		case "Pin":
-			w.pinned[recvKey] = call.Pos()
-		case "Unpin":
-			delete(w.pinned, recvKey)
-		}
-		return true
-	})
-}
-
-func (w *pinWalker) handlePinEventsExpr(e ast.Expr) {
-	if e == nil {
-		return
 	}
-	w.handlePinEvents(&ast.ExprStmt{X: e})
-}
-
-// checkReturnPoint reports every receiver still pinned at a return (or
-// at the end of the body) that has no deferred or escaping release and
-// is not released by the return expression itself.
-func (w *pinWalker) checkReturnPoint(pos token.Pos, ret *ast.ReturnStmt) {
-	released := make(map[string]bool)
-	limit := pos
-	if ret != nil {
-		// Escapes inside the return expression itself (a returned
-		// closure) sit past ret.Pos(); reach to the statement's end.
-		limit = ret.End()
-		for _, res := range ret.Results {
-			ast.Inspect(res, func(n ast.Node) bool {
-				if sel, ok := n.(*ast.SelectorExpr); ok {
-					if recvKey, method, ok := treePinMethod(w.pkg, sel); ok && method == "Unpin" {
-						released[recvKey] = true
-					}
-				}
-				return true
-			})
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
 		}
 	}
-	for recvKey, pinPos := range w.pinned {
-		if w.deferred[recvKey] || released[recvKey] || w.reported[pinPos] {
-			continue
-		}
-		if escapedBetween(w.escaped[recvKey], pinPos, limit) {
-			continue
-		}
-		retLine := w.pkg.Fset.Position(pos).Line
-		w.reported[pinPos] = true
-		w.diags = append(w.diags, diag(w.pkg, "pinpair", pinPos,
-			"%s.Pin() is not released on the return path at line %d: pair it with a defer %s.Unpin() or release it on every path",
-			recvKey, retLine, recvKey))
-	}
-}
-
-// escapedBetween reports whether any escape site lies after the pin and
-// no later than the return point it must cover.
-func escapedBetween(escapes []token.Pos, pinPos, limit token.Pos) bool {
-	for _, e := range escapes {
-		if e > pinPos && e <= limit {
-			return true
-		}
-	}
-	return false
+	return true
 }

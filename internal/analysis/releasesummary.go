@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spatialtf/internal/analysis/cfg"
+)
+
+// ReleaseSummary extends the pin/close discipline across function
+// boundaries. pinTrees in join.go returns the unpin closure instead of
+// unpinning — the caller owns the release now — and pinpair blesses
+// that hand-off. This rule checks the other side of the contract:
+// every function whose summary says "result i is a release func" has
+// its callers verified. A caller must, on every return path, have
+// called the release func, deferred it, or handed it off in turn
+// (stored it, returned it, passed it on). Discarding it outright — an
+// ExprStmt call, or assigning every release result to blank — is the
+// immediate form of the same leak.
+//
+// Providers are discovered by the module summary pass (see
+// BuildModule): a function qualifies when every return site yields
+// nil, a closure or method value that performs a release, or another
+// provider's result — so the set tracks the code, not a hand-kept
+// list.
+var ReleaseSummary = &Analyzer{
+	Name: "releasesummary",
+	Doc:  "a release/cancel func returned by a function must be called, deferred, or handed off by every caller",
+	Run:  runReleaseSummary,
+}
+
+// relFact maps a live release-func obligation to where it was
+// obtained.
+type relFact map[types.Object]token.Pos
+
+func runReleaseSummary(pass *Pass) []Diag {
+	pkg := pass.Pkg
+	var diags []Diag
+	for _, f := range pkg.Files {
+		for _, body := range funcScopes(f) {
+			diags = append(diags, releaseSummaryFunc(pkg, pass.Mod, body)...)
+		}
+	}
+	return diags
+}
+
+// providerResults returns the ReleaseResults summary of the function
+// called by call, when any result is a release func.
+func providerResults(pkg *Pkg, mod *Module, call *ast.CallExpr) []bool {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	sum := mod.SummaryOf(fn)
+	if sum == nil {
+		return nil
+	}
+	for _, r := range sum.ReleaseResults {
+		if r {
+			return sum.ReleaseResults
+		}
+	}
+	return nil
+}
+
+func releaseSummaryFunc(pkg *Pkg, mod *Module, body *ast.BlockStmt) []Diag {
+	info := pkg.Info
+	parents := parentMap(body)
+	var diags []Diag
+
+	// Pass 1: find provider calls in this scope and what happens to
+	// their release results syntactically. Discards are immediate
+	// findings; named bindings become CFG obligations.
+	obligations := make(map[*ast.AssignStmt][]types.Object)
+	obligationObjs := make(map[types.Object]bool)
+	obligationErr := make(map[types.Object]types.Object)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		results := providerResults(pkg, mod, call)
+		if results == nil {
+			return true
+		}
+		fnName := exprString(call.Fun)
+		switch p := parents[call].(type) {
+		case *ast.ExprStmt:
+			diags = append(diags, diag(pkg, "releasesummary", call.Pos(),
+				"release func returned by %s is discarded: call it, defer it, or hand it off", fnName))
+		case *ast.AssignStmt:
+			if enclosingFuncBody(parents, call, body) != body {
+				return true
+			}
+			onRHS := false
+			for _, rhs := range p.Rhs {
+				if rhs == ast.Expr(call) {
+					onRHS = true
+				}
+			}
+			if !onRHS || len(p.Rhs) != 1 {
+				return true
+			}
+			var errObj types.Object
+			for _, lhs := range p.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+					errObj = obj
+				}
+			}
+			bound := false
+			for i, lhs := range p.Lhs {
+				if i >= len(results) || !results[i] {
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				obligations[p] = append(obligations[p], obj)
+				obligationObjs[obj] = true
+				if errObj != nil {
+					obligationErr[obj] = errObj
+				}
+				bound = true
+			}
+			if !bound {
+				diags = append(diags, diag(pkg, "releasesummary", call.Pos(),
+					"release func returned by %s is discarded: call it, defer it, or hand it off", fnName))
+			}
+		}
+		return true
+	})
+	if len(obligations) == 0 {
+		return diags
+	}
+
+	// Pass 2: CFG dataflow — an obligation is discharged by calling the
+	// func (plainly or deferred) or by any escaping use; whatever is
+	// left on a return edge leaks.
+	g := cfg.Build(body)
+	fl := cfg.Flow[relFact]{
+		Entry: relFact{},
+		Join: func(a, b relFact) relFact {
+			for obj, p := range b {
+				if q, ok := a[obj]; !ok || p < q {
+					a[obj] = p
+				}
+			}
+			return a
+		},
+		Equal: func(a, b relFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for obj, p := range a {
+				if q, ok := b[obj]; !ok || p != q {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(f relFact) relFact {
+			c := make(relFact, len(f))
+			for obj, p := range f {
+				c[obj] = p
+			}
+			return c
+		},
+		Transfer: func(n cfg.Node, f relFact) relFact {
+			if as, ok := n.N.(*ast.AssignStmt); ok {
+				for _, obj := range obligations[as] {
+					f[obj] = as.Pos()
+				}
+			}
+			ast.Inspect(n.N, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || !obligationObjs[obj] {
+					return true
+				}
+				if _, live := f[obj]; !live {
+					return true
+				}
+				// Calling it — plainly or deferred — or any other use
+				// (returned, stored, passed, captured) discharges; a
+				// bare nil check does not.
+				if bin, ok := parents[id].(*ast.BinaryExpr); ok &&
+					(bin.Op == token.EQL || bin.Op == token.NEQ) &&
+					(isNilIdent(bin.X) || isNilIdent(bin.Y)) {
+					return true
+				}
+				delete(f, obj)
+				return true
+			})
+			return f
+		},
+		Edge: func(e cfg.Edge, f relFact) relFact {
+			// Two excused paths: the provider's own error path (the
+			// release func is nil by the provider contract), and a
+			// branch on which the func itself is known nil.
+			if errObj := errNonNilOn(info, e); errObj != nil {
+				for obj := range f {
+					if obligationErr[obj] == errObj {
+						delete(f, obj)
+					}
+				}
+			}
+			if obj := nilOn(info, e); obj != nil {
+				delete(f, obj)
+			}
+			return f
+		},
+	}
+	in := cfg.Solve(g, fl)
+	reported := make(map[types.Object]map[token.Pos]bool)
+	for _, ef := range cfg.Exits(g, fl, in) {
+		if ef.Edge.Kind != cfg.EdgeReturn {
+			continue
+		}
+		retPos := body.End()
+		if len(ef.Block.Nodes) > 0 {
+			if ret, ok := ef.Block.Nodes[len(ef.Block.Nodes)-1].(*ast.ReturnStmt); ok {
+				retPos = ret.Pos()
+			}
+		}
+		for obj, openPos := range ef.Fact {
+			if reported[obj] == nil {
+				reported[obj] = make(map[token.Pos]bool)
+			}
+			if reported[obj][retPos] {
+				continue
+			}
+			reported[obj][retPos] = true
+			diags = append(diags, diag(pkg, "releasesummary", retPos,
+				"return leaks release func %q (obtained at line %d): call it, defer it, or hand it off on this path",
+				obj.Name(), pkg.Fset.Position(openPos).Line))
+		}
+	}
+	return diags
+}
+
+// nilOn returns the object known to be nil along e (the true leg of
+// `x == nil` or the false leg of `x != nil`), or nil.
+func nilOn(info *types.Info, e cfg.Edge) types.Object {
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	var nilBranch bool
+	switch bin.Op {
+	case token.EQL:
+		nilBranch = true
+	case token.NEQ:
+		nilBranch = false
+	default:
+		return nil
+	}
+	if e.Branch != nilBranch {
+		return nil
+	}
+	x := bin.X
+	if isNilIdent(x) {
+		x = bin.Y
+	} else if !isNilIdent(bin.Y) {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,73 @@
+// Package goleak is the golden-file fixture for the goleak analyzer:
+// a goroutine spawned in the server/join machinery must carry
+// accounting evidence — WaitGroup bookkeeping, a channel operation, a
+// select, or a callee whose summary has the same — tying it to a join
+// point or shutdown path.
+package goleak
+
+import "sync"
+
+func work() {}
+
+func bareGoroutineLeaks() {
+	go func() { // want `goroutine is not joined`
+		work()
+	}()
+}
+
+func namedGoroutineLeaks() {
+	go work() // want `goroutine is not joined`
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedByChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	return out
+}
+
+func tiedToShutdownSelect(stop <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// pump sends on its channel and closes it: its summary is accounted,
+// so spawning it by name passes transitively.
+func pump(out chan<- int) {
+	out <- 1
+	close(out)
+}
+
+func accountedCallee() <-chan int {
+	out := make(chan int, 1)
+	go pump(out)
+	return out
+}
+
+func rangesOverChannel(in <-chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}

@@ -1,0 +1,98 @@
+// Package releasesummary is the golden-file fixture for the
+// releasesummary analyzer: a release func returned by a provider must
+// be called, deferred, or handed off by every caller. The provider
+// functions are local so the module summary pass (which sees only this
+// package in the harness) discovers them.
+package releasesummary
+
+import "errors"
+
+type tree struct{ pins int }
+
+func (t *tree) Pin()   { t.pins++ }
+func (t *tree) Unpin() { t.pins-- }
+
+// pinBoth is a provider: every return site yields a closure that
+// releases both pins.
+func pinBoth(a, b *tree) func() {
+	a.Pin()
+	b.Pin()
+	return func() {
+		b.Unpin()
+		a.Unpin()
+	}
+}
+
+// pinOne is a provider with an error path: the release func is nil
+// exactly when the error is non-nil.
+func pinOne(t *tree) (func(), error) {
+	if t == nil {
+		return nil, errors.New("no tree")
+	}
+	t.Pin()
+	return t.Unpin, nil
+}
+
+func cond() bool { return false }
+
+func discardsOutright(a, b *tree) {
+	pinBoth(a, b) // want `release func returned by pinBoth is discarded`
+}
+
+func discardsToBlank(a, b *tree) {
+	_ = pinBoth(a, b) // want `release func returned by pinBoth is discarded`
+}
+
+func leaksOnEarlyReturn(a, b *tree) error {
+	unpin := pinBoth(a, b)
+	if cond() {
+		return errors.New("bail") // want `return leaks release func "unpin"`
+	}
+	unpin()
+	return nil
+}
+
+func deferredRelease(a, b *tree) {
+	unpin := pinBoth(a, b)
+	defer unpin()
+}
+
+func releasedOnAllPaths(a, b *tree) {
+	unpin := pinBoth(a, b)
+	if cond() {
+		unpin()
+		return
+	}
+	unpin()
+}
+
+func handsOffByReturn(a, b *tree) func() {
+	unpin := pinBoth(a, b)
+	return unpin
+}
+
+type holder struct{ release func() }
+
+func handsOffByStore(a, b *tree) *holder {
+	unpin := pinBoth(a, b)
+	return &holder{release: unpin}
+}
+
+func errGuardIsNotALeak(t *tree) error {
+	unpin, err := pinOne(t)
+	if err != nil {
+		return err
+	}
+	defer unpin()
+	return nil
+}
+
+func nilCheckAloneDoesNotDischarge(t *tree) {
+	unpin, err := pinOne(t)
+	if err != nil {
+		return
+	}
+	if unpin != nil {
+		return // want `return leaks release func "unpin"`
+	}
+}

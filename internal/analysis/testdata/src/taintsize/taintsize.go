@@ -1,0 +1,90 @@
+// Package taintsize is the golden-file fixture for the taintsize
+// analyzer: a count decoded from raw bytes must pass a bound check
+// before it sizes an allocation. The decode helpers are local so the
+// module summary pass (which sees only this package in the harness)
+// can summarize them.
+package taintsize
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+)
+
+func unboundedMake(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n) // want `allocation sized by "n".*reaches this make without a bound check`
+}
+
+func boundCheckSanitizes(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if n > uint64(len(b)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func minLaunders(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, min(n, 1<<16))
+}
+
+func uint32IsUnbounded(b []byte) []uint32 {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]uint32, n) // want `allocation sized by "n".*reaches this make without a bound check`
+}
+
+func uint16IsBounded(b []byte) []byte {
+	n := binary.LittleEndian.Uint16(b)
+	return make([]byte, n) // 65535 bytes at worst: not a source
+}
+
+func unboundedGrow(br *bufio.Reader) (*bytes.Buffer, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(int(n)) // want `allocation sized by "int\(n\)".*reaches this Grow without a bound check`
+	return &buf, nil
+}
+
+// rowCount returns the raw decoded count: its summary marks result 0
+// tainted, so callers inherit the obligation to check it.
+func rowCount(b []byte) uint64 {
+	n, _ := binary.Uvarint(b)
+	return n
+}
+
+func taintedThroughCall(b []byte) []byte {
+	n := rowCount(b)
+	return make([]byte, n) // want `allocation sized by "n".*reaches this make without a bound check`
+}
+
+func checkedThroughCall(b []byte) []byte {
+	n := rowCount(b)
+	if n > 4096 {
+		n = 4096
+	}
+	return make([]byte, n)
+}
+
+// alloc never checks its parameter before allocating from it: its
+// summary marks the parameter unguarded, so the finding lands at the
+// call site that feeds it a raw decoded count.
+func alloc(n uint64) []byte {
+	return make([]byte, n)
+}
+
+func unguardedParamSink(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return alloc(n) // want `allocation sized by "n".*reaches this alloc without a bound check`
+}
+
+func guardedBeforeCall(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if n > 1<<20 {
+		return nil
+	}
+	return alloc(n)
+}

@@ -24,7 +24,8 @@ var WireErr = &Analyzer{
 	Run:  runWireErr,
 }
 
-func runWireErr(pkg *Pkg) []Diag {
+func runWireErr(pass *Pass) []Diag {
+	pkg := pass.Pkg
 	var diags []Diag
 	report := func(call *ast.CallExpr, how string) {
 		fn := wireErrCallee(pkg, call)

@@ -72,12 +72,23 @@ type Server struct {
 	mu         sync.Mutex
 	ln         net.Listener
 	conns      map[*conn]struct{}
+	rejects    map[net.Conn]struct{}
 	inShutdown atomic.Bool
+
+	// wg counts every goroutine Serve spawns — connection handlers and
+	// reject handshakes — so Shutdown can join them all instead of
+	// returning while handlers still run their cleanup.
+	wg sync.WaitGroup
 }
 
 // New returns a server over db.
 func New(db *spatialtf.DB, cfg Config) *Server {
-	return &Server{db: db, cfg: cfg.withDefaults(), conns: make(map[*conn]struct{})}
+	return &Server{
+		db:      db,
+		cfg:     cfg.withDefaults(),
+		conns:   make(map[*conn]struct{}),
+		rejects: make(map[net.Conn]struct{}),
+	}
 }
 
 // Stats returns the server's live counters.
@@ -126,7 +137,17 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.stats.ConnsAccepted.Add(1)
 		if int(s.stats.ConnsActive.Load()) >= s.cfg.MaxConns {
 			s.stats.ConnsRejected.Add(1)
-			go rejectConn(nc)
+			s.mu.Lock()
+			s.rejects[nc] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				rejectConn(nc)
+				s.mu.Lock()
+				delete(s.rejects, nc)
+				s.mu.Unlock()
+			}()
 			continue
 		}
 		c := &conn{srv: s, nc: nc}
@@ -134,7 +155,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
 		s.stats.ConnsActive.Add(1)
-		go c.serve()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+		}()
 	}
 }
 
@@ -172,6 +197,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	// Kick in-flight reject handshakes: their next read/write fails
+	// immediately instead of running out the courtesy deadline.
+	for nc := range s.rejects {
+		nc.SetDeadline(time.Now())
+	}
 	s.mu.Unlock()
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
@@ -187,6 +217,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		if n == 0 {
+			s.wg.Wait()
 			return nil
 		}
 		select {
@@ -195,7 +226,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			for c := range s.conns {
 				c.nc.Close()
 			}
+			for nc := range s.rejects {
+				nc.Close()
+			}
 			s.mu.Unlock()
+			s.wg.Wait()
 			return ctx.Err()
 		case <-tick.C:
 		}

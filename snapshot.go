@@ -29,6 +29,18 @@ import (
 //	  tilingLevel, interiorEffort, parallelHint; 4 × float64 bounds
 const snapshotMagic = "STFSNAP1"
 
+// Restore bounds: counts in the stream are attacker-controlled (a
+// snapshot may come off the network or a shared filesystem), so every
+// count is checked before it sizes an allocation.
+const (
+	// maxSnapshotCols caps columns per table, matching the wire
+	// protocol's schema cap in wire.ParseDescribe.
+	maxSnapshotCols = 4096
+	// maxSnapshotRowImage caps one encoded row (strings and blobs
+	// included); the storage layer's own blob limit is far below this.
+	maxSnapshotRowImage = 1 << 24
+)
+
 // Save serialises the database. Tables are written in name order so
 // snapshots of equal databases are byte-identical.
 func (db *DB) Save(w io.Writer) error {
@@ -128,6 +140,9 @@ func Restore(r io.Reader, parallel int) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ncols > maxSnapshotCols {
+			return nil, fmt.Errorf("spatialtf: snapshot table %q: column count %d exceeds limit %d", name, ncols, maxSnapshotCols)
+		}
 		schema := make([]Column, ncols)
 		for i := range schema {
 			cn, err := readString(br)
@@ -152,6 +167,9 @@ func Restore(r io.Reader, parallel int) (*DB, error) {
 			l, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
+			}
+			if l > maxSnapshotRowImage {
+				return nil, fmt.Errorf("spatialtf: snapshot %q row %d: image length %d exceeds limit %d", name, ri, l, maxSnapshotRowImage)
 			}
 			img := make([]byte, l)
 			if _, err := io.ReadFull(br, img); err != nil {
