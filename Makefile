@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record
+.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record obs-smoke
 
-ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke
+ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke obs-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -57,6 +57,12 @@ bench:
 # timing fidelity, just proof they still execute.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -count 1 ./...
+
+# End-to-end observability check: boot spatialserverd with -metrics-addr,
+# run a join over the wire, scrape /metrics and assert the core series
+# moved, hit pprof, then SIGTERM and require a clean drain.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Wire-protocol streaming throughput (loopback server + client).
 bench-wire:

@@ -18,6 +18,7 @@ import (
 	"spatialtf/internal/rtree"
 	"spatialtf/internal/sjoin"
 	"spatialtf/internal/storage"
+	"spatialtf/internal/telemetry"
 )
 
 // Shared fixtures, built once.
@@ -118,6 +119,30 @@ func BenchmarkTable2IndexJoin(b *testing.B) {
 		if _, _, err := sjoin.RunJoinFunction(fn, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Telemetry overhead ablation: the identical star self-join with live
+// instruments and a per-query span trace attached. The delta against
+// BenchmarkTable2IndexJoin (which runs on the Nop registry) is the full
+// enabled-observability cost; the budget in DESIGN.md §12 is <= 2%.
+func BenchmarkTable2IndexJoinTelemetry(b *testing.B) {
+	fixtures(b)
+	reg := telemetry.New()
+	tracer := telemetry.NewTracer(reg, -1, nil)
+	cfg := sjoin.DefaultConfig()
+	cfg.Instr = sjoin.NewInstruments(reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Trace = tracer.Begin("bench stars*stars")
+		fn, err := sjoin.NewJoinFunction(fixStars, fixStars, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sjoin.RunJoinFunction(fn, 0); err != nil {
+			b.Fatal(err)
+		}
+		cfg.Trace.Finish()
 	}
 }
 

@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -47,6 +50,8 @@ func main() {
 		maxRows      = flag.Int64("max-rows", 0, "per-query row limit (0 = unlimited)")
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query time limit (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain limit")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/pprof/ (empty = disabled)")
+		slowQuery    = flag.Duration("slow-query", 0, "log a span trace for queries at least this slow (0 = off)")
 		loads        loadList
 	)
 	flag.Var(&loads, "load", "dataset to load at start, as name:n[:seed] (repeatable; counties, stars or blockgroups)")
@@ -64,6 +69,10 @@ func main() {
 		}
 	}
 
+	// One registry covers the whole process: the server's counters and
+	// the database's join/cache instruments land on the same scrape.
+	reg := spatialtf.NewTelemetryRegistry()
+	db.EnableTelemetry(reg)
 	srv := server.New(db, server.Config{
 		MaxConns:          *maxConns,
 		MaxCursorsPerConn: *maxCursors,
@@ -71,7 +80,32 @@ func main() {
 		MaxBatch:          *maxBatch,
 		MaxRowsPerQuery:   *maxRows,
 		QueryTimeout:      *queryTimeout,
+		Telemetry:         reg,
+		SlowQuery:         *slowQuery,
 	})
+
+	// The observability endpoint runs on its own mux (never the default
+	// one) so nothing else in the process can accidentally widen it.
+	var httpSrv *http.Server
+	var httpWG sync.WaitGroup
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		httpSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		httpWG.Add(1)
+		go func() {
+			defer httpWG.Done()
+			log.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)", *metricsAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
@@ -84,6 +118,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("forced shutdown: %v", err)
+		}
+		if httpSrv != nil {
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("metrics server shutdown: %v", err)
+			}
 		}
 		if *snapshot != "" {
 			if err := saveSnapshot(db, *snapshot); err != nil {
@@ -99,6 +138,7 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+	httpWG.Wait()
 	s := srv.Stats().Snapshot()
 	log.Printf("served %d queries, %d rows streamed over %d fetches, %d connections",
 		s.Queries, s.RowsStreamed, s.Fetches, s.ConnsAccepted)

@@ -9,15 +9,18 @@
 //
 // Meta commands: \load <counties|stars|blockgroups> <n> [seed] creates
 // and fills a table from a synthetic dataset; \tables lists tables from
-// the index metadata; \q quits. Statements may span lines and end with
-// a semicolon. A file of statements can be piped on stdin.
+// the index metadata; \metrics dumps the telemetry registry; \trace
+// on|off prints a span trace after every query; \q quits. Statements
+// may span lines and end with a semicolon. A file of statements can be
+// piped on stdin.
 //
 // With -connect host:port the shell runs against a remote spatialserverd
 // instead of an embedded database: statements travel over the wire
 // protocol and SELECT row sources stream back in fetch batches (printed
 // incrementally), so a huge join never materialises on either side.
-// Remote meta commands: \stats prints server statistics; \batch <n>
-// sets the fetch batch size; \q quits.
+// Remote meta commands: \stats prints server statistics with latency
+// histogram summaries; \metrics dumps the server's full metric
+// snapshot; \batch <n> sets the fetch batch size; \q quits.
 package main
 
 import (
@@ -31,8 +34,31 @@ import (
 
 	"spatialtf"
 	"spatialtf/internal/sqlmini"
+	"spatialtf/internal/telemetry"
 	"spatialtf/internal/wire"
 )
+
+// shellTelemetry is the local shell's observability: a live registry
+// over the embedded database plus a tracer whose slow log writes to
+// stderr. \trace on sets the threshold to zero (trace every join);
+// \trace off back to disabled.
+type shellTelemetry struct {
+	reg     *spatialtf.TelemetryRegistry
+	tracer  *spatialtf.Tracer
+	tracing bool
+}
+
+// attachTelemetry enables a fresh registry + tracer on db (called at
+// startup and again after \restore swaps the database).
+func attachTelemetry(db *spatialtf.DB) *shellTelemetry {
+	st := &shellTelemetry{reg: spatialtf.NewTelemetryRegistry()}
+	db.EnableTelemetry(st.reg)
+	st.tracer = telemetry.NewTracer(st.reg, -1, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	db.SetTracer(st.tracer)
+	return st
+}
 
 func main() {
 	connect := flag.String("connect", "", "run against a remote server at host:port instead of an embedded database")
@@ -45,11 +71,12 @@ func main() {
 		return
 	}
 	eng := sqlmini.NewEngine()
+	st := attachTelemetry(eng.DB())
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isatty()
 	if interactive {
-		fmt.Println("spatialtf SQL shell — \\q to quit, \\load <dataset> <n> to load data")
+		fmt.Println("spatialtf SQL shell — \\q to quit, \\load <dataset> <n> to load data, \\metrics, \\trace on|off")
 	}
 	var buf strings.Builder
 	prompt := func() {
@@ -67,7 +94,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(eng, trimmed) {
+			if !meta(eng, &st, trimmed) {
 				return
 			}
 			prompt()
@@ -101,11 +128,27 @@ func runStatement(eng *sqlmini.Engine, sql string) {
 }
 
 // meta handles backslash commands; returns false to quit.
-func meta(eng *sqlmini.Engine, cmd string) bool {
+func meta(eng *sqlmini.Engine, st **shellTelemetry, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
 		return false
+	case "\\metrics":
+		printPoints((*st).reg.Snapshot())
+	case "\\trace":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(os.Stderr, "usage: \\trace on|off")
+			return true
+		}
+		if fields[1] == "on" {
+			(*st).tracer.SetThreshold(0) // log a span trace for every query
+			(*st).tracing = true
+			fmt.Println("tracing on: span traces print to stderr after each query")
+		} else {
+			(*st).tracer.SetThreshold(-1)
+			(*st).tracing = false
+			fmt.Println("tracing off")
+		}
 	case "\\tables":
 		metas, err := eng.DB().IndexMetadata()
 		if err != nil {
@@ -154,6 +197,14 @@ func meta(eng *sqlmini.Engine, cmd string) bool {
 			return true
 		}
 		*eng = *sqlmini.NewEngineOn(db)
+		// The restore swapped the database out from under the registry;
+		// re-attach a fresh one and carry the tracing toggle over.
+		tracing := (*st).tracing
+		*st = attachTelemetry(eng.DB())
+		if tracing {
+			(*st).tracer.SetThreshold(0)
+			(*st).tracing = true
+		}
 		fmt.Printf("database restored from %s\n", fields[1])
 	case "\\load":
 		if len(fields) < 3 {
@@ -207,7 +258,7 @@ func remoteShell(addr string) error {
 	defer cli.Close()
 	interactive := isatty()
 	if interactive {
-		fmt.Printf("spatialtf SQL shell — connected to %s; \\q to quit, \\stats for server stats\n", addr)
+		fmt.Printf("spatialtf SQL shell — connected to %s; \\q to quit, \\stats for server stats, \\metrics for the full snapshot\n", addr)
 	}
 	batch := 0 // 0 = server default
 	in := bufio.NewScanner(os.Stdin)
@@ -328,6 +379,26 @@ func remoteMeta(cli *wire.Client, cmd string, batch *int) bool {
 			s.RowsStreamed, s.Fetches, mean.Round(time.Microsecond))
 		fmt.Printf("geom cache:  %d hits / %d misses, %d entries (%d bytes)\n",
 			s.GeomCacheHits, s.GeomCacheMisses, s.GeomCacheEntries, s.GeomCacheBytes)
+		// Histogram summaries ride on the metrics frame; a pre-metrics
+		// server answers it with an error, in which case the basic stats
+		// above are all there is.
+		pts, err := cli.Metrics()
+		if err != nil {
+			return true
+		}
+		for _, p := range pts {
+			if p.Kind != telemetry.KindHistogram || p.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-30s %s\n", p.Name+":", histSummary(p))
+		}
+	case "\\metrics":
+		pts, err := cli.Metrics()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		printPoints(pts)
 	case "\\batch":
 		if len(fields) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: \\batch <rows> (0 = server default)")
@@ -340,9 +411,43 @@ func remoteMeta(cli *wire.Client, cmd string, batch *int) bool {
 		}
 		*batch = n
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %s (remote mode supports \\q, \\stats, \\batch)\n", fields[0])
+		fmt.Fprintf(os.Stderr, "unknown command %s (remote mode supports \\q, \\stats, \\metrics, \\batch)\n", fields[0])
 	}
 	return true
+}
+
+// printPoints renders a metrics snapshot as a compact table: counters
+// and gauges one per line, histograms with count/mean/quantiles.
+func printPoints(pts []telemetry.Point) {
+	for _, p := range pts {
+		switch p.Kind {
+		case telemetry.KindHistogram:
+			fmt.Printf("%-34s %s\n", p.Name, histSummary(p))
+		default:
+			fmt.Printf("%-34s %v\n", p.Name, p.Value)
+		}
+	}
+}
+
+// histSummary formats one histogram point as count, mean and estimated
+// p50/p99 (linear interpolation within buckets).
+func histSummary(p telemetry.Point) string {
+	if p.Count == 0 {
+		return "count=0"
+	}
+	mean := p.Sum / float64(p.Count)
+	return fmt.Sprintf("count=%d mean=%s p50=%s p99=%s",
+		p.Count, histUnit(p.Name, mean),
+		histUnit(p.Name, p.Quantile(0.5)), histUnit(p.Name, p.Quantile(0.99)))
+}
+
+// histUnit renders a histogram sample in its natural unit: *_seconds
+// metrics as durations, everything else as a bare number.
+func histUnit(name string, v float64) string {
+	if strings.HasSuffix(name, "_seconds") {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
 }
 
 // isatty reports whether stdin looks interactive (best effort, stdlib

@@ -23,6 +23,9 @@
 //	               shutdown path
 //	releasesummary a release/cancel func returned by a function must be
 //	               called, deferred, or handed off by every caller
+//	metricname     telemetry metric names must be constant strings in
+//	               lowercase_snake, unique across the module (the
+//	               registry's runtime panic on a duplicate, at lint time)
 //
 // pinpair, cursorclose, and the three rules below the line run on the
 // control-flow-graph engine in the cfg subpackage: per-function basic
@@ -105,6 +108,7 @@ func Analyzers() []*Analyzer {
 		TaintSize,
 		GoLeak,
 		ReleaseSummary,
+		MetricName,
 	}
 }
 

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// MetricName vets every telemetry registration in the module: the name
+// handed to a Registry constructor (NewCounter, NewGauge, NewHistogram,
+// CounterFunc, GaugeFunc) must be a constant string, spelled in
+// lowercase_snake, and registered at exactly one call site across all
+// packages. The registry itself panics on a duplicate or malformed name
+// — but only at runtime, on whichever process first wires two
+// subsystems onto one registry. A scrape endpoint aggregates the whole
+// process, so two packages independently minting "queries_total" is a
+// collision the compiler cannot see; this rule moves that panic to lint
+// time. Dynamic names are flagged too: a name the analyzer cannot read
+// is a name it cannot vet, and per-entity metric families are not part
+// of this registry's design.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry metric names must be constant, lowercase_snake, and unique across the module",
+	Run:  runMetricName,
+}
+
+// metricCtors are the Registry methods that register a new series under
+// their first argument.
+var metricCtors = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+	"CounterFunc":  true,
+	"GaugeFunc":    true,
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricSite is one registration call somewhere in the module.
+type metricSite struct {
+	name string
+	pkg  *Pkg
+	pos  token.Pos
+}
+
+func runMetricName(pass *Pass) []Diag {
+	var diags []Diag
+
+	// Per-site checks for the package under review: constant names only,
+	// lowercase_snake spelling.
+	for _, site := range metricSitesOf(pass.Pkg) {
+		if site.name == "" {
+			diags = append(diags, diag(pass.Pkg, "metricname", site.pos,
+				"metric name is not a constant string: spatiallint cannot vet a name it cannot read"))
+			continue
+		}
+		if !metricNameRE.MatchString(site.name) {
+			diags = append(diags, diag(pass.Pkg, "metricname", site.pos,
+				"metric name %q is not lowercase_snake ([a-z][a-z0-9_]*)", site.name))
+		}
+	}
+
+	// Uniqueness spans packages: collect every constant-named site in the
+	// module, keep the first in position order as canonical, and report
+	// the rest — but only those in the package under review, so a
+	// module-wide run emits each duplicate exactly once.
+	byName := make(map[string][]metricSite)
+	for _, pkg := range pass.Mod.pkgs {
+		for _, site := range metricSitesOf(pkg) {
+			if site.name != "" {
+				byName[site.name] = append(byName[site.name], site)
+			}
+		}
+	}
+	for name, sites := range byName {
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			pi := sites[i].pkg.Fset.Position(sites[i].pos)
+			pj := sites[j].pkg.Fset.Position(sites[j].pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Offset < pj.Offset
+		})
+		first := sites[0].pkg.Fset.Position(sites[0].pos)
+		for _, site := range sites[1:] {
+			if site.pkg != pass.Pkg {
+				continue
+			}
+			diags = append(diags, diag(pass.Pkg, "metricname", site.pos,
+				"metric name %q already registered at %s:%d: one registry cannot hold both",
+				name, first.Filename, first.Line))
+		}
+	}
+	return diags
+}
+
+// metricSitesOf returns every Registry-constructor call in pkg, with
+// name "" when the first argument does not fold to a string constant.
+func metricSitesOf(pkg *Pkg) []metricSite {
+	var sites []metricSite
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			_, fn := methodObj(pkg.Info, call)
+			if fn == nil || !metricCtors[fn.Name()] || !fromPkg(fn, "internal/telemetry") {
+				return true
+			}
+			site := metricSite{pkg: pkg, pos: call.Args[0].Pos()}
+			if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				site.name = constant.StringVal(tv.Value)
+			}
+			sites = append(sites, site)
+			return true
+		})
+	}
+	return sites
+}

@@ -1,0 +1,42 @@
+// Package metricname is the golden-file fixture for the metricname
+// analyzer: telemetry registrations must use constant lowercase_snake
+// names, each registered at exactly one call site.
+package metricname
+
+import (
+	"fmt"
+
+	"spatialtf/internal/telemetry"
+)
+
+func wellFormed(reg *telemetry.Registry) {
+	reg.NewCounter("requests_total", "fine")
+	reg.NewGauge("queue_depth", "fine")
+	reg.NewHistogram("latency_seconds", "fine", nil)
+	reg.CounterFunc("cache_hits_total", "fine", func() int64 { return 0 })
+}
+
+const goodName = "lookups_total"
+
+func constantFolds(reg *telemetry.Registry) {
+	// A named constant is as checkable as a literal.
+	reg.NewCounter(goodName, "fine")
+}
+
+func badSpelling(reg *telemetry.Registry) {
+	reg.NewCounter("RequestsTotal", "camel case")           // want `metric name "RequestsTotal" is not lowercase_snake`
+	reg.NewGauge("queue-depth", "kebab case")               // want `metric name "queue-depth" is not lowercase_snake`
+	reg.NewHistogram("_seconds", "leading underscore", nil) // want `metric name "_seconds" is not lowercase_snake`
+}
+
+func dynamicName(reg *telemetry.Registry, table string) {
+	reg.NewCounter(fmt.Sprintf("scans_%s_total", table), "per-table") // want `metric name is not a constant string`
+}
+
+func duplicateA(reg *telemetry.Registry) {
+	reg.NewCounter("errors_total", "first registration wins")
+}
+
+func duplicateB(reg *telemetry.Registry) {
+	reg.NewGauge("errors_total", "second site collides") // want `metric name "errors_total" already registered at`
+}

@@ -265,15 +265,37 @@ func New(maxEntries int) *Tree {
 // pin-acquisition order for multi-tree operations.
 func (t *Tree) Seq() uint64 { return t.seq }
 
+// Pin accounting, package-wide: how many pins were ever taken and how
+// many are held right now. A pin is per-cursor (not per-row), so two
+// atomic adds are noise next to the traversal it protects. Exposed as
+// scrape-time views by DB.EnableTelemetry.
+var (
+	pinsTotal atomic.Int64
+	pinsHeld  atomic.Int64
+)
+
+// PinStats reports the package-wide pin counters: pins ever taken and
+// pins currently held.
+func PinStats() (total, held int64) {
+	return pinsTotal.Load(), pinsHeld.Load()
+}
+
 // Pin blocks structural modification of the tree until Unpin, without
 // excluding other readers. Cursors that traverse NodeRefs across many
 // fetch calls (the pipelined spatial join) pin the operand trees for the
 // cursor's lifetime so concurrent DML waits instead of racing the
 // traversal.
-func (t *Tree) Pin() { t.pinMu.RLock() }
+func (t *Tree) Pin() {
+	t.pinMu.RLock()
+	pinsTotal.Add(1)
+	pinsHeld.Add(1)
+}
 
 // Unpin releases a Pin.
-func (t *Tree) Unpin() { t.pinMu.RUnlock() }
+func (t *Tree) Unpin() {
+	pinsHeld.Add(-1)
+	t.pinMu.RUnlock()
+}
 
 // Len returns the number of indexed items.
 func (t *Tree) Len() int {

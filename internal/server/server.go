@@ -24,6 +24,7 @@ import (
 	"spatialtf"
 	"spatialtf/internal/sqlmini"
 	"spatialtf/internal/storage"
+	"spatialtf/internal/telemetry"
 	"spatialtf/internal/wire"
 )
 
@@ -45,6 +46,18 @@ type Config struct {
 	// (0 = no limit). An aborted cursor reports an error on the next
 	// fetch.
 	QueryTimeout time.Duration
+	// Telemetry is the metrics registry the server registers its
+	// counters and histograms on — share one registry between the
+	// server and DB.EnableTelemetry so a single /metrics scrape covers
+	// both. Nil gets the server a private registry (the server is a
+	// network daemon, so its stats are always live; only embedded DB
+	// use defaults to telemetry.Nop).
+	Telemetry *telemetry.Registry
+	// SlowQuery emits a span trace on the server log for any query
+	// whose cursor lives at least this long (0 disables the slow log).
+	SlowQuery time.Duration
+	// SlowLogf overrides the slow-log sink (default log.Printf).
+	SlowLogf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -65,9 +78,11 @@ func (c Config) withDefaults() Config {
 
 // Server serves the wire protocol over a shared database.
 type Server struct {
-	db    *spatialtf.DB
-	cfg   Config
-	stats Stats
+	db     *spatialtf.DB
+	cfg    Config
+	reg    *telemetry.Registry
+	stats  *Stats
+	tracer *telemetry.Tracer
 
 	mu         sync.Mutex
 	ln         net.Listener
@@ -83,16 +98,38 @@ type Server struct {
 
 // New returns a server over db.
 func New(db *spatialtf.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	// The tracer threshold: 0 in the config means "no slow log", which
+	// the tracer spells as a negative threshold (0 there logs every
+	// query — useful for \trace on, wrong as a server default).
+	thr := cfg.SlowQuery
+	if thr <= 0 {
+		thr = -1
+	}
 	return &Server{
 		db:      db,
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
+		reg:     reg,
+		stats:   newStats(reg),
+		tracer:  telemetry.NewTracer(reg, thr, cfg.SlowLogf),
 		conns:   make(map[*conn]struct{}),
 		rejects: make(map[net.Conn]struct{}),
 	}
 }
 
 // Stats returns the server's live counters.
-func (s *Server) Stats() *Stats { return &s.stats }
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Telemetry returns the registry the server's metrics live on (never
+// nil) — mount its Handler on /metrics to expose them.
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
+
+// Tracer returns the server's query tracer (never nil).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Addr returns the listening address (nil before Serve).
 func (s *Server) Addr() net.Addr {
@@ -135,7 +172,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			continue
 		}
 		s.stats.ConnsAccepted.Add(1)
-		if int(s.stats.ConnsActive.Load()) >= s.cfg.MaxConns {
+		if int(s.stats.ConnsActive.Value()) >= s.cfg.MaxConns {
 			s.stats.ConnsRejected.Add(1)
 			s.mu.Lock()
 			s.rejects[nc] = struct{}{}
@@ -245,6 +282,9 @@ type serverCursor struct {
 	cur      storage.Cursor
 	streamed int64
 	deadline time.Time // zero = no limit
+	// trace spans the cursor's lifetime — query to final fetch — and
+	// feeds the slow log when it outlives the threshold.
+	trace *telemetry.Trace
 }
 
 // conn handles one client connection. The protocol is strict
@@ -308,6 +348,11 @@ func (c *conn) serve() {
 				return wire.WriteFrame(bw, wire.FrameStatsReply,
 					wire.AppendStats(nil, snap))
 			}
+		case wire.FrameMetricsReq:
+			reply = func() error {
+				return wire.WriteFrame(bw, wire.FrameMetricsReply,
+					wire.AppendMetrics(nil, c.srv.reg.Snapshot()))
+			}
 		default:
 			reply = c.sendError(bw, fmt.Sprintf("unknown frame type 0x%02x", byte(t)))
 		}
@@ -354,7 +399,8 @@ func (c *conn) handleQuery(bw *bufio.Writer, payload []byte) func() error {
 		return c.sendError(bw, fmt.Sprintf("cursor limit reached (%d per connection)", c.srv.cfg.MaxCursorsPerConn))
 	}
 	c.nextCursor++
-	sc := &serverCursor{id: c.nextCursor, schema: stream.Schema, cur: stream.Cursor}
+	sc := &serverCursor{id: c.nextCursor, schema: stream.Schema, cur: stream.Cursor,
+		trace: c.srv.tracer.Begin(truncateSQL(sql))}
 	if c.srv.cfg.QueryTimeout > 0 {
 		sc.deadline = time.Now().Add(c.srv.cfg.QueryTimeout)
 	}
@@ -430,9 +476,13 @@ func (c *conn) handleFetch(bw *bufio.Writer, payload []byte) func() error {
 		c.dropCursor(sc)
 		return c.sendError(bw, fmt.Sprintf("query row limit exceeded (%d rows)", limit))
 	}
+	elapsed := time.Since(start)
 	c.srv.stats.Fetches.Add(1)
-	c.srv.stats.FetchNanos.Add(time.Since(start).Nanoseconds())
+	c.srv.stats.FetchNanos.Add(elapsed.Nanoseconds())
+	c.srv.stats.FetchSeconds.Observe(elapsed.Seconds())
+	c.srv.stats.BatchRows.Observe(float64(len(bb.rows)))
 	c.srv.stats.RowsStreamed.Add(int64(len(bb.rows)))
+	sc.trace.Add(telemetry.StageFetch, elapsed, 1)
 	img, err := wire.AppendBatch(bb.img[:0], sc.id, done, sc.schema, bb.rows)
 	if err != nil {
 		bb.release()
@@ -468,9 +518,20 @@ func (c *conn) handleClose(bw *bufio.Writer, payload []byte) func() error {
 // dropCursor closes and forgets a cursor.
 func (c *conn) dropCursor(sc *serverCursor) {
 	sc.cur.Close()
+	sc.trace.Finish()
 	delete(c.cursors, sc.id)
 	c.cursorCount.Add(-1)
 	c.srv.stats.CursorsOpen.Add(-1)
+}
+
+// truncateSQL bounds the trace label so a pathological statement does
+// not bloat the slow log.
+func truncateSQL(sql string) string {
+	const max = 120
+	if len(sql) <= max {
+		return sql
+	}
+	return sql[:max] + "..."
 }
 
 // sendError builds a reply that reports msg.

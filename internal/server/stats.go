@@ -1,39 +1,67 @@
 package server
 
 import (
-	"sync/atomic"
-
+	"spatialtf/internal/telemetry"
 	"spatialtf/internal/wire"
 )
 
-// Stats counts server activity with lock-free atomics; the wire Stats
-// frame ships a Snapshot of it. One Stats lives per Server.
+// Stats is the server's activity accounting, held as preregistered
+// telemetry handles so the fetch hot loop updates lock-free atomics
+// and never touches a map. The registry is the single source of truth:
+// the /metrics scrape, the wire Stats frame, and the shells all read
+// the same counters. One Stats lives per Server.
 type Stats struct {
-	ConnsAccepted atomic.Int64
-	ConnsRejected atomic.Int64
-	ConnsActive   atomic.Int64
-	CursorsOpened atomic.Int64
-	CursorsOpen   atomic.Int64
-	Queries       atomic.Int64
-	Errors        atomic.Int64
-	RowsStreamed  atomic.Int64
-	Fetches       atomic.Int64
-	FetchNanos    atomic.Int64
+	ConnsAccepted *telemetry.Counter
+	ConnsRejected *telemetry.Counter
+	ConnsActive   *telemetry.Gauge
+	CursorsOpened *telemetry.Counter
+	CursorsOpen   *telemetry.Gauge
+	Queries       *telemetry.Counter
+	Errors        *telemetry.Counter
+	RowsStreamed  *telemetry.Counter
+	Fetches       *telemetry.Counter
+	FetchNanos    *telemetry.Counter
+	// FetchSeconds distributes per-fetch batch production latency; its
+	// buckets back the histogram summaries in spatialsql \stats.
+	FetchSeconds *telemetry.Histogram
+	// BatchRows distributes rows per fetch batch (how full the paper's
+	// bounded fetch pipeline runs).
+	BatchRows *telemetry.Histogram
+}
+
+// newStats registers the server metric set on reg. The server always
+// runs with a live registry (New falls back to a private one when the
+// config carries none), so handles are never nil here.
+func newStats(reg *telemetry.Registry) *Stats {
+	return &Stats{
+		ConnsAccepted: reg.NewCounter("server_conns_accepted_total", "client connections accepted"),
+		ConnsRejected: reg.NewCounter("server_conns_rejected_total", "client connections rejected at the connection limit"),
+		ConnsActive:   reg.NewGauge("server_conns_active", "client connections currently open"),
+		CursorsOpened: reg.NewCounter("server_cursors_opened_total", "server-side cursors opened"),
+		CursorsOpen:   reg.NewGauge("server_cursors_open", "server-side cursors currently open"),
+		Queries:       reg.NewCounter("server_queries_total", "statements received"),
+		Errors:        reg.NewCounter("server_errors_total", "error frames sent"),
+		RowsStreamed:  reg.NewCounter("server_rows_streamed_total", "result rows streamed to clients"),
+		Fetches:       reg.NewCounter("server_fetches_total", "fetch batches produced"),
+		FetchNanos:    reg.NewCounter("server_fetch_nanos_total", "total time producing fetch batches, nanoseconds"),
+		FetchSeconds:  reg.NewHistogram("server_fetch_seconds", "per-fetch batch production latency", nil),
+		BatchRows:     reg.NewHistogram("server_batch_rows", "rows per fetch batch", telemetry.SizeBuckets),
+	}
 }
 
 // Snapshot returns a consistent-enough point-in-time copy for
 // reporting.
 func (s *Stats) Snapshot() wire.Stats {
 	return wire.Stats{
-		ConnsAccepted: s.ConnsAccepted.Load(),
-		ConnsRejected: s.ConnsRejected.Load(),
-		ConnsActive:   s.ConnsActive.Load(),
-		CursorsOpened: s.CursorsOpened.Load(),
-		CursorsOpen:   s.CursorsOpen.Load(),
-		Queries:       s.Queries.Load(),
-		Errors:        s.Errors.Load(),
-		RowsStreamed:  s.RowsStreamed.Load(),
-		Fetches:       s.Fetches.Load(),
-		FetchNanos:    s.FetchNanos.Load(),
+		ConnsAccepted: s.ConnsAccepted.Value(),
+		ConnsRejected: s.ConnsRejected.Value(),
+		ConnsActive:   s.ConnsActive.Value(),
+		CursorsOpened: s.CursorsOpened.Value(),
+		CursorsOpen:   s.CursorsOpen.Value(),
+		Queries:       s.Queries.Value(),
+		Errors:        s.Errors.Value(),
+		RowsStreamed:  s.RowsStreamed.Value(),
+		Fetches:       s.Fetches.Value(),
+		FetchNanos:    s.FetchNanos.Value(),
 	}
 }

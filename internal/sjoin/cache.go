@@ -143,6 +143,13 @@ type CacheStats struct {
 	Entries int64
 }
 
+// Hits returns the lifetime hit count — a cheap read for scrape-time
+// counter views (Stats locks every shard).
+func (c *GeomCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the lifetime miss count.
+func (c *GeomCache) Misses() int64 { return c.misses.Load() }
+
 // Stats returns the cache counters. Hits/Misses count Get outcomes over
 // the cache lifetime; Bytes/Entries are the current residency.
 func (c *GeomCache) Stats() CacheStats {

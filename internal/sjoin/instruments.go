@@ -1,0 +1,103 @@
+package sjoin
+
+import (
+	"time"
+
+	"spatialtf/internal/telemetry"
+)
+
+// Instruments is the shared telemetry of the spatial join: registry
+// counters for the work the per-instance JoinStats count, plus
+// stage-latency histograms for the two-stage evaluation of §4.2. One
+// Instruments is shared by every join (and every parallel instance) of
+// a database — handles are lock-free atomics, so concurrent instances
+// feed them directly.
+//
+// Counters are fed by delta flushes at fetch/close granularity (see
+// JoinFunction.flushStats): the hot loops keep bumping plain ints in
+// JoinStats and the registry sees the accumulated delta once per fetch
+// batch, which keeps the per-candidate cost at zero.
+type Instruments struct {
+	NodePairs    *telemetry.Counter
+	NodeAccesses *telemetry.Counter
+	Candidates   *telemetry.Counter
+	Results      *telemetry.Counter
+	GeomFetches  *telemetry.Counter
+	FastAccepts  *telemetry.Counter
+	// Stage latencies, observed per batch-granular section: one
+	// primary-filter refill, one candidate sort, one secondary-filter
+	// drain.
+	PrimarySeconds   *telemetry.Histogram
+	SortSeconds      *telemetry.Histogram
+	SecondarySeconds *telemetry.Histogram
+}
+
+// NewInstruments registers the join metric set on reg. On the Nop
+// registry the returned instruments are usable no-ops.
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	return &Instruments{
+		NodePairs:    reg.NewCounter("join_node_pairs_total", "R-tree node pairs visited by the primary filter"),
+		NodeAccesses: reg.NewCounter("join_node_accesses_total", "index node reads issued by the join"),
+		Candidates:   reg.NewCounter("join_candidates_total", "primary-filter survivors queued for the secondary filter"),
+		Results:      reg.NewCounter("join_results_total", "exact-predicate survivors returned"),
+		GeomFetches:  reg.NewCounter("join_geom_fetches_total", "base-table geometry fetches by the secondary filter"),
+		FastAccepts:  reg.NewCounter("join_fast_accepts_total", "pairs accepted from interior approximations without a geometry fetch"),
+		PrimarySeconds: reg.NewHistogram("join_primary_filter_seconds",
+			"latency of one primary-filter candidate refill", nil),
+		SortSeconds: reg.NewHistogram("join_candidate_sort_seconds",
+			"latency of one candidate-array sort", nil),
+		SecondarySeconds: reg.NewHistogram("join_secondary_filter_seconds",
+			"latency of one secondary-filter drain", nil),
+	}
+}
+
+// observeStage records one batch-granular stage duration. Nil-safe.
+func (in *Instruments) observeStage(s telemetry.Stage, d time.Duration) {
+	if in == nil {
+		return
+	}
+	switch s {
+	case telemetry.StagePrimary:
+		in.PrimarySeconds.Observe(d.Seconds())
+	case telemetry.StageSort:
+		in.SortSeconds.Observe(d.Seconds())
+	case telemetry.StageSecondary:
+		in.SecondarySeconds.Observe(d.Seconds())
+	}
+}
+
+// span opens a timed section for stage s, feeding both the shared
+// instruments and the per-query trace. When neither sink is attached it
+// returns a shared no-op and the clock is never read — the disabled
+// join pays one nil check per batch, nothing per candidate.
+func (j *JoinFunction) span(s telemetry.Stage) func() {
+	if j.instr == nil && j.trace == nil {
+		return nopSpan
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		j.instr.observeStage(s, d)
+		j.trace.Add(s, d, 1)
+	}
+}
+
+var nopSpan = func() {}
+
+// flushStats pushes the growth of the per-instance JoinStats since the
+// last flush onto the shared instruments. Called once per fetch and at
+// close, so the registry trails the hot loop by at most one batch.
+func (j *JoinFunction) flushStats() {
+	in := j.instr
+	if in == nil {
+		return
+	}
+	cur, prev := j.stats, j.flushed
+	in.NodePairs.Add(int64(cur.NodePairsVisited - prev.NodePairsVisited))
+	in.NodeAccesses.Add(int64(cur.NodeAccesses - prev.NodeAccesses))
+	in.Candidates.Add(int64(cur.Candidates - prev.Candidates))
+	in.Results.Add(int64(cur.Results - prev.Results))
+	in.GeomFetches.Add(int64(cur.GeomFetches - prev.GeomFetches))
+	in.FastAccepts.Add(int64(cur.FastAccepts - prev.FastAccepts))
+	j.flushed = cur
+}

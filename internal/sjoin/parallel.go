@@ -114,7 +114,13 @@ func ParallelIndexJoin(a, b Source, cfg Config, workers int) (storage.Cursor, er
 		if instance < 0 || instance >= len(tasks) {
 			return nil, fmt.Errorf("sjoin: no tasks for instance %d", instance)
 		}
-		return newJoinFn(a, b, cfg, tasks[instance])
+		jf, err := newJoinFn(a, b, cfg, tasks[instance])
+		if err != nil {
+			return nil, err
+		}
+		// All instances share cfg.Trace (stage aggregates are atomic),
+		// so one per-query trace sums the parallel instances' work.
+		return tablefunc.Traced(jf, cfg.Trace), nil
 	}
 	return tablefunc.Parallel(cursors, factory, cfg.FetchBatch), nil
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"spatialtf/internal/geom"
 	"spatialtf/internal/rtree"
 	"spatialtf/internal/storage"
 	"spatialtf/internal/tablefunc"
+	"spatialtf/internal/telemetry"
 )
 
 // JoinFunction is the spatial_join pipelined table function of §4.2. Its state
@@ -55,6 +57,21 @@ type JoinFunction struct {
 
 	// Statistics, reported through JoinStats.
 	stats JoinStats
+
+	// Shared telemetry (nil when disabled): instr receives counter
+	// deltas and stage latencies, trace is the per-query span sink,
+	// flushed remembers what stats already reached instr.
+	instr   *Instruments
+	trace   *telemetry.Trace
+	flushed JoinStats
+
+	// Sampled geometry-fetch spans, pending until flushGeomSpans: gfSeq
+	// picks the 1-in-16 sample, gfPending counts every fetch exactly,
+	// gfNanos holds the scaled sampled duration. Plain ints — only this
+	// instance touches them.
+	gfSeq     int64
+	gfPending int64
+	gfNanos   int64
 }
 
 // nodePair is one unit of synchronized traversal.
@@ -114,6 +131,8 @@ func newJoinFn(a, b Source, cfg Config, roots []nodePair) (*JoinFunction, error)
 		colB:  colB,
 		cache: cfg.resolveCache(),
 		roots: roots,
+		instr: cfg.Instr,
+		trace: cfg.Trace,
 	}, nil
 }
 
@@ -139,7 +158,9 @@ func (j *JoinFunction) Fetch(max int) ([]storage.Row, error) {
 		}
 		// Refill the candidate array by resuming the index traversal.
 		if len(j.stack) > 0 {
+			end := j.span(telemetry.StagePrimary)
 			j.fillCandidates()
+			end()
 		}
 		if len(j.cands) == 0 {
 			break // stack empty and no candidates: join complete
@@ -148,11 +169,24 @@ func (j *JoinFunction) Fetch(max int) ([]storage.Row, error) {
 			return nil, err
 		}
 	}
+	j.flushStats()
 	return out, nil
+}
+
+// flushGeomSpans moves the pending sampled geometry-fetch spans to the
+// shared trace (one pair of atomic adds per drain, not per fetch).
+func (j *JoinFunction) flushGeomSpans() {
+	if j.gfPending == 0 {
+		return
+	}
+	j.trace.Add(telemetry.StageGeomFetch, time.Duration(j.gfNanos), j.gfPending)
+	j.gfPending, j.gfNanos = 0, 0
 }
 
 // Close implements TableFunction.
 func (j *JoinFunction) Close() error {
+	j.flushGeomSpans()
+	j.flushStats()
 	j.stack = nil
 	j.cands = nil
 	j.ready = nil
@@ -358,8 +392,15 @@ func sweepDistOK(a, b sweepEntry, d float64) bool {
 // sharing a cache — skip the base-table decode entirely.
 func (j *JoinFunction) secondaryFilter() error {
 	if j.cfg.SortCandidates {
+		end := j.span(telemetry.StageSort)
 		slices.SortFunc(j.cands, comparePairs)
+		end()
 	}
+	endDrain := j.span(telemetry.StageSecondary)
+	defer func() {
+		j.flushGeomSpans()
+		endDrain()
+	}()
 	var (
 		curID   storage.RowID
 		curGeom geom.Geometry
@@ -386,10 +427,31 @@ func (j *JoinFunction) secondaryFilter() error {
 	return nil
 }
 
+// geomSampleMask times one geometry fetch in 16 and scales the sampled
+// duration up: per-fetch clock reads are the one per-candidate cost, so
+// even a traced query only pays them on the sample.
+const geomSampleMask = 15
+
 // fetchGeom resolves one geometry for the secondary filter through the
-// cache, maintaining the fetch and cache counters.
+// cache, maintaining the fetch and cache counters. When a per-query
+// trace is attached, fetches are counted exactly but timed by sampling:
+// the pending totals sit in plain per-instance fields and reach the
+// shared trace through flushGeomSpans once per drain.
 func (j *JoinFunction) fetchGeom(tab *storage.Table, col int, id storage.RowID) (geom.Geometry, error) {
+	var t0 time.Time
+	sampled := false
+	if j.trace != nil {
+		sampled = j.gfSeq&geomSampleMask == 0
+		j.gfSeq++
+		j.gfPending++
+		if sampled {
+			t0 = time.Now()
+		}
+	}
 	g, hit, err := cachedFetch(j.cache, tab, col, id)
+	if sampled {
+		j.gfNanos += int64(time.Since(t0)) * (geomSampleMask + 1)
+	}
 	if err != nil {
 		return geom.Geometry{}, fmt.Errorf("sjoin: fetch %v from %q: %w", id, tab.Name(), err)
 	}
@@ -416,7 +478,7 @@ func IndexJoin(a, b Source, cfg Config) (storage.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tablefunc.Pipeline(fn, cfg.FetchBatch), nil
+	return tablefunc.Pipeline(tablefunc.Traced(fn, cfg.Trace), cfg.FetchBatch), nil
 }
 
 // RunJoinFunction drives a join function to completion and returns the

@@ -23,6 +23,7 @@ import (
 	"spatialtf/internal/geom"
 	"spatialtf/internal/rtree"
 	"spatialtf/internal/storage"
+	"spatialtf/internal/telemetry"
 )
 
 // Pair is one join result: the rowids of the interacting rows in the
@@ -122,6 +123,14 @@ type Config struct {
 	// of a join-private one — the facade shares one cache per database
 	// so parallel instances and successive joins reuse decodes.
 	GeomCache *GeomCache
+	// Instr, when non-nil, receives the join's work counters and
+	// batch-granular stage latencies. Shared across parallel instances;
+	// nil (the default) keeps the join free of telemetry writes.
+	Instr *Instruments
+	// Trace, when non-nil, is the per-query span trace the join's
+	// stages are recorded on (it also enables per-fetch geometry-fetch
+	// timing, which is too hot for always-on collection).
+	Trace *telemetry.Trace
 }
 
 // DefaultSweepThreshold is the combined entry count below which the

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE headers,
+// counters and gauges as single samples, histograms as cumulative
+// _bucket series with le labels plus _sum and _count. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range r.Snapshot() {
+		writePoint(bw, p)
+	}
+	return bw.Flush()
+}
+
+// writePoint renders one metric snapshot.
+func writePoint(bw *bufio.Writer, p Point) {
+	if p.Help != "" {
+		fmt.Fprintf(bw, "# HELP %s %s\n", p.Name, p.Help)
+	}
+	fmt.Fprintf(bw, "# TYPE %s %s\n", p.Name, p.Kind)
+	switch p.Kind {
+	case KindHistogram:
+		cum := int64(0)
+		for i, b := range p.Bounds {
+			cum += p.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", p.Name, formatFloat(b), cum)
+		}
+		if n := len(p.Bounds); n < len(p.Counts) {
+			cum += p.Counts[n]
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", p.Name, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", p.Name, formatFloat(p.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", p.Name, p.Count)
+	default:
+		fmt.Fprintf(bw, "%s %s\n", p.Name, formatFloat(p.Value))
+	}
+}
+
+// formatFloat renders a sample value as its shortest round-trip
+// representation ("256", "0.0001", "+Inf" never appears here — the
+// overflow bucket label is written literally).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the /metrics scrape handler over r. Scraping a nil
+// registry yields an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The write goes to a network peer; an error here means the
+		// scraper went away, which is its problem, not ours.
+		_ = r.WritePrometheus(w)
+	})
+}

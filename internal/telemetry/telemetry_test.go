@@ -1,0 +1,315 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.NewCounter("reqs_total", "requests")
+	g := r.NewGauge("conns_active", "connections")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	g.Add(2)
+	g.Add(-1)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %d, want 1", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Errorf("gauge after Set = %d, want 42", got)
+	}
+}
+
+func TestNopRegistry(t *testing.T) {
+	// Every handle from the Nop registry must be a usable no-op: no
+	// panics, zero values back.
+	var r *Registry = Nop
+	if r.Enabled() {
+		t.Fatal("Nop registry reports enabled")
+	}
+	c := r.NewCounter("x", "")
+	g := r.NewGauge("x", "")
+	h := r.NewHistogram("x", "", nil)
+	r.CounterFunc("x", "", func() int64 { return 7 })
+	r.GaugeFunc("x", "", func() int64 { return 7 })
+	c.Inc()
+	c.Add(3)
+	g.Set(9)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read zero")
+	}
+	if pts := r.Snapshot(); pts != nil {
+		t.Errorf("Nop snapshot = %v, want nil", pts)
+	}
+	if _, ok := r.Lookup("x"); ok {
+		t.Error("Nop lookup must miss")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	r := New()
+	for _, bad := range []string{"Upper_case", "1leading", "has-dash", "has space", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: want panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "")
+		}()
+	}
+	r.NewCounter("fine_name_2", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate name: want panic")
+			}
+		}()
+		r.NewGauge("fine_name_2", "")
+	}()
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.56; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	p, ok := r.Lookup("lat_seconds")
+	if !ok {
+		t.Fatal("histogram not in registry")
+	}
+	wantCounts := []int64{2, 1, 1, 1}
+	for i, c := range p.Counts {
+		if c != wantCounts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+	// Median falls in the first bucket (2 of 5 samples ≤ 0.01, rank 2.5
+	// lands in the second).
+	if q := p.Quantile(0.5); q < 0.01 || q > 0.1 {
+		t.Errorf("p50 = %g, want within (0.01, 0.1]", q)
+	}
+	if q := p.Quantile(1); q < 1 {
+		t.Errorf("p100 = %g, want >= 1", q)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := New()
+	n := int64(3)
+	r.CounterFunc("ticks_total", "ticks", func() int64 { return n })
+	r.GaugeFunc("level", "level", func() int64 { return -n })
+	p, _ := r.Lookup("ticks_total")
+	if p.Value != 3 || p.Kind != KindCounter {
+		t.Errorf("counterfunc point = %+v", p)
+	}
+	n = 8
+	if p, _ = r.Lookup("level"); p.Value != -8 || p.Kind != KindGauge {
+		t.Errorf("gaugefunc point = %+v", p)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	c := r.NewCounter("things_total", "things seen")
+	c.Add(7)
+	g := r.NewGauge("depth", "")
+	g.Set(-2)
+	h := r.NewHistogram("dur_seconds", "durations", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP things_total things seen\n",
+		"# TYPE things_total counter\n",
+		"things_total 7\n",
+		"# TYPE depth gauge\n",
+		"depth -2\n",
+		"# TYPE dur_seconds histogram\n",
+		"dur_seconds_bucket{le=\"0.1\"} 1\n",
+		"dur_seconds_bucket{le=\"1\"} 2\n",
+		"dur_seconds_bucket{le=\"+Inf\"} 3\n",
+		"dur_seconds_sum 50.55\n",
+		"dur_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// A gauge with empty help gets no HELP line.
+	if strings.Contains(out, "# HELP depth") {
+		t.Error("empty help must omit the HELP line")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.NewCounter("up_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("scrape body = %q", rec.Body.String())
+	}
+}
+
+func TestTracerSlowLog(t *testing.T) {
+	r := New()
+	var mu sync.Mutex
+	var logged []string
+	tr := NewTracer(r, 0, func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, format)
+		mu.Unlock()
+	})
+	q := tr.Begin("select 1")
+	end := q.Span(StagePrimary)
+	end()
+	q.Add(StageFetch, 3*time.Millisecond, 2)
+	q.Finish()
+	q.Finish() // idempotent
+	mu.Lock()
+	n := len(logged)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("slow log emitted %d times, want 1", n)
+	}
+	if p, _ := r.Lookup("query_seconds"); p.Count != 1 {
+		t.Errorf("query_seconds count = %d, want 1", p.Count)
+	}
+	if p, _ := r.Lookup("query_slow_total"); p.Value != 1 {
+		t.Errorf("query_slow_total = %g, want 1", p.Value)
+	}
+
+	// Raising the threshold silences fast queries.
+	tr.SetThreshold(time.Hour)
+	q2 := tr.Begin("select 2")
+	q2.Finish()
+	mu.Lock()
+	n = len(logged)
+	mu.Unlock()
+	if n != 1 {
+		t.Errorf("fast query under threshold was slow-logged")
+	}
+
+	// Negative threshold disables the slow log entirely.
+	tr.SetThreshold(-1)
+	q3 := tr.Begin("select 3")
+	q3.Finish()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 1 {
+		t.Errorf("disabled slow log still emitted")
+	}
+}
+
+func TestNilTrace(t *testing.T) {
+	var tr *Tracer
+	q := tr.Begin("x")
+	if q != nil {
+		t.Fatal("nil tracer must mint nil traces")
+	}
+	q.Span(StageFetch)()
+	q.Add(StageClose, time.Second, 1)
+	q.Finish()
+	if d, n := q.StageTotal(StageClose); d != 0 || n != 0 {
+		t.Error("nil trace must read zero")
+	}
+	if q.String() != "<nil trace>" {
+		t.Errorf("nil trace String = %q", q.String())
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTracer(New(), -1, nil)
+	q := tr.Begin("join a*b")
+	q.Add(StagePrimary, 2*time.Millisecond, 4)
+	s := q.String()
+	if !strings.Contains(s, "join a*b") || !strings.Contains(s, "primary_filter=2ms/4") {
+		t.Errorf("trace string = %q", s)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	// Handles hammered from many goroutines while a scraper snapshots:
+	// the -race build of this test is the registry's memory-model gate.
+	r := New()
+	c := r.NewCounter("hits_total", "")
+	h := r.NewHistogram("obs_seconds", "", nil)
+	g := r.NewGauge("inflight", "")
+	var workers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := 0; j < 5000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) * 1e-6)
+				g.Add(-1)
+			}
+		}()
+	}
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		// Concurrent registration must not race the scraper.
+		for _, name := range []string{"late_a", "late_b", "late_c"} {
+			r.NewCounter(name, "").Inc()
+		}
+	}()
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	scraper.Wait()
+	if c.Value() != 4*5000 {
+		t.Errorf("counter = %d, want %d", c.Value(), 4*5000)
+	}
+	if h.Count() != 4*5000 {
+		t.Errorf("histogram count = %d, want %d", h.Count(), 4*5000)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"spatialtf/internal/storage"
+	"spatialtf/internal/telemetry"
 )
 
 // Client is a connection to a spatialtf query server. One client holds
@@ -191,6 +192,20 @@ func (c *Client) Stats() (Stats, error) {
 		return Stats{}, fmt.Errorf("wire: unexpected reply frame 0x%02x to Stats", byte(t))
 	}
 	return ParseStats(p)
+}
+
+// Metrics fetches the server's full metrics snapshot (every registered
+// series, histograms included). A server that predates the Metrics
+// frame answers with an "unknown frame type" RemoteError.
+func (c *Client) Metrics() ([]telemetry.Point, error) {
+	t, p, err := c.roundTrip(FrameMetricsReq, nil)
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameMetricsReply {
+		return nil, fmt.Errorf("wire: unexpected reply frame 0x%02x to Metrics", byte(t))
+	}
+	return ParseMetrics(p)
 }
 
 // Cursor is a remote result-set cursor: the client half of the

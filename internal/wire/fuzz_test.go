@@ -7,6 +7,7 @@ import (
 
 	"spatialtf/internal/geom"
 	"spatialtf/internal/storage"
+	"spatialtf/internal/telemetry"
 )
 
 // fuzzSchema covers every column type, so ParseBatch drives the storage
@@ -31,6 +32,11 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(AppendDescribe(nil, 7, fuzzSchema))
 	f.Add(AppendError(nil, "boom"))
 	f.Add(AppendStats(nil, Stats{Queries: 3, RowsStreamed: 99}))
+	f.Add(AppendMetrics(nil, []telemetry.Point{
+		{Name: "a_total", Kind: telemetry.KindCounter, Value: 3},
+		{Name: "lat", Kind: telemetry.KindHistogram, Bounds: []float64{0.1, 1},
+			Counts: []int64{1, 2, 3}, Sum: 4.5, Count: 6},
+	}))
 	f.Add(AppendResult(nil, Result{Message: "ok", HasCount: true, Count: 2,
 		Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}))
 	if b, err := AppendBatch(nil, 7, true, fuzzSchema, []storage.Row{{
@@ -60,5 +66,6 @@ func FuzzWireDecode(f *testing.F) {
 		ParseResult(data)
 		ParseError(data)
 		ParseStats(data)
+		ParseMetrics(data)
 	})
 }

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialtf/internal/telemetry"
+)
+
+// Metrics frame types, added in protocol revision 1.1. The magic is
+// unchanged: a server that predates them answers FrameMetricsReq with
+// FrameError ("unknown frame type"), which the client surfaces as a
+// RemoteError — old servers and new clients interoperate, as do new
+// servers and old clients (who simply never send the frame).
+const (
+	// FrameMetricsReq requests a full metrics snapshot; empty payload.
+	FrameMetricsReq FrameType = 0x05
+	// FrameMetricsReply carries the snapshot as a sequence of
+	// self-delimiting metric entries.
+	FrameMetricsReply FrameType = 0x85
+)
+
+// Parse caps: a snapshot bigger than this is a corrupt or hostile
+// frame, not a plausible registry.
+const (
+	maxMetricEntries = 4096
+	maxBuckets       = 256
+)
+
+func (p *payload) f64(v float64) {
+	p.b = binary.LittleEndian.AppendUint64(p.b, math.Float64bits(v))
+}
+
+func (p *pReader) f64() (float64, error) {
+	if len(p.b) < 8 {
+		return 0, fmt.Errorf("wire: truncated float64")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.b))
+	p.b = p.b[8:]
+	return v, nil
+}
+
+// AppendMetrics encodes a metrics snapshot. Each entry travels as a
+// length-prefixed blob — name, help, kind byte, then a kind-specific
+// body — so a decoder that meets an unknown kind (or extra trailing
+// fields from a newer peer) skips to the next entry instead of
+// desynchronising.
+func AppendMetrics(dst []byte, pts []telemetry.Point) []byte {
+	p := payload{b: dst}
+	p.u64(uint64(len(pts)))
+	var entry payload
+	for _, pt := range pts {
+		entry.b = entry.b[:0]
+		entry.str(pt.Name)
+		entry.str(pt.Help)
+		entry.byteV(byte(pt.Kind))
+		switch pt.Kind {
+		case telemetry.KindHistogram:
+			entry.u64(uint64(len(pt.Bounds)))
+			for _, b := range pt.Bounds {
+				entry.f64(b)
+			}
+			for _, c := range pt.Counts {
+				entry.u64(uint64(c))
+			}
+			entry.f64(pt.Sum)
+			entry.u64(uint64(pt.Count))
+		default:
+			entry.f64(pt.Value)
+		}
+		p.blob(entry.b)
+	}
+	return p.b
+}
+
+// ParseMetrics decodes a metrics snapshot. Entries of unknown kind are
+// skipped (forward compatibility); trailing bytes inside an entry are
+// ignored for the same reason.
+func ParseMetrics(b []byte) ([]telemetry.Point, error) {
+	p := pReader{b: b}
+	n, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxMetricEntries {
+		return nil, fmt.Errorf("wire: metrics snapshot with %d entries", n)
+	}
+	pts := make([]telemetry.Point, 0, n)
+	for i := uint64(0); i < n; i++ {
+		blob, err := p.blob()
+		if err != nil {
+			return nil, err
+		}
+		pt, ok, err := parseMetricEntry(blob)
+		if err != nil {
+			return nil, fmt.Errorf("wire: metrics entry %d: %w", i, err)
+		}
+		if ok {
+			pts = append(pts, pt)
+		}
+	}
+	return pts, p.done()
+}
+
+// parseMetricEntry decodes one entry blob; ok=false means an unknown
+// kind the caller should skip.
+func parseMetricEntry(b []byte) (pt telemetry.Point, ok bool, err error) {
+	e := pReader{b: b}
+	if pt.Name, err = e.str(); err != nil {
+		return pt, false, err
+	}
+	if pt.Help, err = e.str(); err != nil {
+		return pt, false, err
+	}
+	k, err := e.byteV()
+	if err != nil {
+		return pt, false, err
+	}
+	pt.Kind = telemetry.Kind(k)
+	switch pt.Kind {
+	case telemetry.KindCounter, telemetry.KindGauge:
+		if pt.Value, err = e.f64(); err != nil {
+			return pt, false, err
+		}
+	case telemetry.KindHistogram:
+		nb, err := e.u64()
+		if err != nil {
+			return pt, false, err
+		}
+		if nb > maxBuckets {
+			return pt, false, fmt.Errorf("histogram with %d buckets", nb)
+		}
+		pt.Bounds = make([]float64, nb)
+		for i := range pt.Bounds {
+			if pt.Bounds[i], err = e.f64(); err != nil {
+				return pt, false, err
+			}
+		}
+		pt.Counts = make([]int64, nb+1)
+		for i := range pt.Counts {
+			c, err := e.u64()
+			if err != nil {
+				return pt, false, err
+			}
+			pt.Counts[i] = int64(c)
+		}
+		if pt.Sum, err = e.f64(); err != nil {
+			return pt, false, err
+		}
+		c, err := e.u64()
+		if err != nil {
+			return pt, false, err
+		}
+		pt.Count = int64(c)
+	default:
+		// A kind from a newer peer: the blob boundary lets us skip it.
+		return pt, false, nil
+	}
+	return pt, true, nil
+}

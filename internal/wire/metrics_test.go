@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"spatialtf/internal/telemetry"
+)
+
+func TestMetricsRoundTrip(t *testing.T) {
+	in := []telemetry.Point{
+		{Name: "reqs_total", Help: "requests", Kind: telemetry.KindCounter, Value: 42},
+		{Name: "depth", Kind: telemetry.KindGauge, Value: -2.5},
+		{Name: "lat_seconds", Help: "latency", Kind: telemetry.KindHistogram,
+			Bounds: []float64{0.01, 0.1, 1},
+			Counts: []int64{5, 3, 1, 2}, Sum: 7.25, Count: 11},
+	}
+	out, err := ParseMetrics(AppendMetrics(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	out, err := ParseMetrics(AppendMetrics(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("empty snapshot decoded to %d points", len(out))
+	}
+}
+
+// TestMetricsUnknownKindSkipped is the forward-compatibility contract:
+// an old client must skip entries a newer server encodes with a kind it
+// does not know, and keep the entries it does.
+func TestMetricsUnknownKindSkipped(t *testing.T) {
+	var p payload
+	p.u64(3)
+	var e payload
+	// Known counter.
+	e.str("known_total")
+	e.str("")
+	e.byteV(byte(telemetry.KindCounter))
+	e.f64(1)
+	p.blob(e.b)
+	// Unknown kind 200 with an arbitrary body.
+	e.b = e.b[:0]
+	e.str("future_metric")
+	e.str("from a newer peer")
+	e.byteV(200)
+	e.str("opaque body bytes")
+	p.blob(e.b)
+	// Known gauge after the unknown entry — decoding must resynchronise.
+	e.b = e.b[:0]
+	e.str("after")
+	e.str("")
+	e.byteV(byte(telemetry.KindGauge))
+	e.f64(9)
+	p.blob(e.b)
+
+	out, err := ParseMetrics(p.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "known_total" || out[1].Name != "after" {
+		t.Errorf("decoded %+v, want the two known entries", out)
+	}
+	if out[1].Value != 9 {
+		t.Errorf("entry after the skip decoded to %+v", out[1])
+	}
+}
+
+// TestMetricsTrailingEntryBytes: extra fields appended inside an entry
+// blob by a newer encoder are ignored, not an error.
+func TestMetricsTrailingEntryBytes(t *testing.T) {
+	var p payload
+	p.u64(1)
+	var e payload
+	e.str("c_total")
+	e.str("")
+	e.byteV(byte(telemetry.KindCounter))
+	e.f64(5)
+	e.str("a future extra field")
+	p.blob(e.b)
+	out, err := ParseMetrics(p.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Value != 5 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestMetricsParseLimits(t *testing.T) {
+	// Entry-count cap.
+	var p payload
+	p.u64(maxMetricEntries + 1)
+	if _, err := ParseMetrics(p.b); err == nil {
+		t.Error("oversized entry count must be rejected")
+	}
+	// Bucket-count cap.
+	p.b = p.b[:0]
+	p.u64(1)
+	var e payload
+	e.str("h")
+	e.str("")
+	e.byteV(byte(telemetry.KindHistogram))
+	e.u64(maxBuckets + 1)
+	p.blob(e.b)
+	if _, err := ParseMetrics(p.b); err == nil {
+		t.Error("oversized bucket count must be rejected")
+	}
+	// Truncated entry.
+	p.b = p.b[:0]
+	p.u64(1)
+	e.b = e.b[:0]
+	e.str("c")
+	e.str("")
+	e.byteV(byte(telemetry.KindCounter))
+	// value missing
+	p.blob(e.b)
+	if _, err := ParseMetrics(p.b); err == nil {
+		t.Error("truncated entry must be rejected")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"spatialtf/internal/rtree"
 	"spatialtf/internal/sjoin"
 	"spatialtf/internal/storage"
+	"spatialtf/internal/telemetry"
 )
 
 // Pair is one spatial-join result: the rowids of the interacting rows
@@ -85,6 +86,9 @@ func (db *DB) joinConfig(opt JoinOptions) (sjoin.Config, error) {
 	if opt.GeomCacheBytes == 0 {
 		cfg.GeomCache = db.geomCache
 	}
+	db.mu.RLock()
+	cfg.Instr = db.instr
+	db.mu.RUnlock()
 	return cfg, nil
 }
 
@@ -146,6 +150,7 @@ func pinTrees(a, b *rtree.Tree) func() {
 type JoinCursor struct {
 	cur    storage.Cursor
 	unpin  func()
+	trace  *telemetry.Trace // nil unless DB.SetTracer is active
 	closed sync.Once
 }
 
@@ -167,6 +172,7 @@ func (jc *JoinCursor) Next() (p Pair, ok bool, err error) {
 func (jc *JoinCursor) Close() error {
 	err := jc.cur.Close()
 	jc.closed.Do(func() {
+		jc.trace.Finish()
 		if jc.unpin != nil {
 			jc.unpin()
 		}
@@ -196,6 +202,10 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 	if err != nil {
 		return nil, err
 	}
+	// A per-query trace (when a tracer is attached) spans the cursor
+	// from here to Close; the join instances feed its stage aggregates.
+	trace := db.getTracer().Begin(fmt.Sprintf("spatial_join %s*%s", tableA, tableB))
+	cfg.Trace = trace
 	unpin := pinTrees(a.Tree, b.Tree)
 	var cur storage.Cursor
 	if opt.Parallel > 1 {
@@ -205,9 +215,10 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 	}
 	if err != nil {
 		unpin()
+		trace.Finish()
 		return nil, err
 	}
-	return &JoinCursor{cur: cur, unpin: unpin}, nil
+	return &JoinCursor{cur: cur, unpin: unpin, trace: trace}, nil
 }
 
 // ExplainJoin describes how a SpatialJoin with the given options would

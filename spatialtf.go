@@ -114,6 +114,13 @@ type DB struct {
 	// cannot go stale). Shared across joins, parallel instances, and
 	// index kinds.
 	geomCache *sjoin.GeomCache
+
+	// Telemetry state (all nil until EnableTelemetry/SetTracer): the
+	// registry, the shared join instruments every join feeds, and the
+	// per-query tracer SpatialJoin begins traces on.
+	telReg *TelemetryRegistry
+	instr  *sjoin.Instruments
+	tracer *Tracer
 }
 
 // Open returns an empty database with the RTREE and QUADTREE indextypes
