@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record obs-smoke
+.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record obs-smoke crash-smoke
 
-ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke obs-smoke
+ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke obs-smoke crash-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -49,6 +49,7 @@ race-hot:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzWireDecode -fuzztime 5s ./internal/wire
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 5s ./internal/sqlmini
+	$(GO) test -run NONE -fuzz FuzzWALDecode -fuzztime 5s ./internal/pager
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -63,6 +64,12 @@ bench-smoke:
 # moved, hit pprof, then SIGTERM and require a clean drain.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end crash recovery: boot spatialserverd on a -data-dir, load
+# and mutate over the wire, SIGKILL, reboot on the same directory, and
+# require identical counts and join answers after WAL redo.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # Wire-protocol streaming throughput (loopback server + client).
 bench-wire:

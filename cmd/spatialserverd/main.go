@@ -1,10 +1,21 @@
-// Command spatialserverd is the networked query server daemon: it loads
-// a database snapshot (or synthesizes datasets), serves the wire
-// protocol over TCP, and persists the database back to the snapshot on
-// SIGTERM/SIGINT after draining in-flight cursors.
+// Command spatialserverd is the networked query server daemon: it opens
+// a durable data directory (or loads a snapshot, or synthesizes
+// datasets) and serves the wire protocol over TCP.
+//
+// With -data-dir, the database lives in a paged store with a
+// write-ahead log: every committed mutation survives a crash (per
+// -wal-sync), restart recovers from WAL + checkpoint, and shutdown is a
+// checkpoint — no snapshot rewrite. A -snapshot given alongside an
+// empty -data-dir is imported once (migration); thereafter the data
+// directory is authoritative.
+//
+// Without -data-dir, the database is in-memory and -snapshot keeps the
+// old export/import persistence: restored at start, rewritten
+// atomically on SIGTERM/SIGINT after draining in-flight cursors.
 //
 // Usage:
 //
+//	spatialserverd -addr 127.0.0.1:7878 -data-dir /var/lib/stf -wal-sync always
 //	spatialserverd -addr 127.0.0.1:7878 -snapshot db.snap
 //	spatialserverd -load counties:2000:1 -load stars:10000:2 -index rtree
 //
@@ -22,6 +33,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,7 +53,11 @@ func (l *loadList) Set(v string) error { *l = append(*l, v); return nil }
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7878", "listen address")
-		snapshot     = flag.String("snapshot", "", "snapshot file: restored at start if present, saved on shutdown")
+		dataDir      = flag.String("data-dir", "", "durable data directory (page file + WAL); empty = in-memory")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy with -data-dir (always|batch|off)")
+		poolPages    = flag.Int("pool-pages", 0, "buffer pool size in pages with -data-dir (0 = default)")
+		checkpointMB = flag.Int64("checkpoint-mb", 0, "checkpoint once the WAL exceeds this many MiB (0 = default)")
+		snapshot     = flag.String("snapshot", "", "snapshot file: restored (or imported into an empty -data-dir) at start; saved on shutdown in in-memory mode")
 		index        = flag.String("index", "rtree", "index kind built on -load tables (rtree|quadtree|none)")
 		parallel     = flag.Int("parallel", 0, "parallel workers for restore/index builds")
 		maxConns     = flag.Int("max-conns", 64, "concurrent connection limit")
@@ -59,7 +76,12 @@ func main() {
 	log.SetPrefix("spatialserverd: ")
 	log.SetFlags(log.LstdFlags)
 
-	db, err := openDB(*snapshot, *parallel)
+	// One registry covers the whole process: the server's counters, the
+	// database's join/cache instruments and (with -data-dir) the storage
+	// engine's pool/WAL/checkpoint metrics land on the same scrape. It
+	// must exist before the store opens so the engine can register.
+	reg := spatialtf.NewTelemetryRegistry()
+	db, err := openDB(*dataDir, *snapshot, *walSync, *poolPages, *checkpointMB, *parallel, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,10 +90,6 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-
-	// One registry covers the whole process: the server's counters and
-	// the database's join/cache instruments land on the same scrape.
-	reg := spatialtf.NewTelemetryRegistry()
 	db.EnableTelemetry(reg)
 	srv := server.New(db, server.Config{
 		MaxConns:          *maxConns,
@@ -124,7 +142,15 @@ func main() {
 				log.Printf("metrics server shutdown: %v", err)
 			}
 		}
-		if *snapshot != "" {
+		if db.Durable() {
+			// Checkpoint + release the data directory; the WAL already
+			// holds every committed mutation.
+			if err := db.Close(); err != nil {
+				log.Printf("data directory close failed: %v", err)
+			} else {
+				log.Printf("data directory checkpointed")
+			}
+		} else if *snapshot != "" {
 			if err := saveSnapshot(db, *snapshot); err != nil {
 				log.Printf("snapshot save failed: %v", err)
 			} else {
@@ -144,30 +170,132 @@ func main() {
 		s.Queries, s.RowsStreamed, s.Fetches, s.ConnsAccepted)
 }
 
-// openDB restores the snapshot if it exists, otherwise opens an empty
-// database.
-func openDB(path string, parallel int) (*spatialtf.DB, error) {
-	if path == "" {
-		return spatialtf.Open(), nil
+// openDB opens the durable data directory when -data-dir is set
+// (importing the snapshot into it on first boot), otherwise restores
+// the snapshot into memory if it exists, otherwise opens empty.
+func openDB(dataDir, snapPath, walSync string, poolPages int, checkpointMB int64, parallel int, reg *spatialtf.TelemetryRegistry) (*spatialtf.DB, error) {
+	if dataDir == "" {
+		if snapPath == "" {
+			return spatialtf.Open(), nil
+		}
+		f, err := os.Open(snapPath)
+		if os.IsNotExist(err) {
+			log.Printf("snapshot %s not found; starting empty", snapPath)
+			return spatialtf.Open(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		db, err := spatialtf.Restore(f, parallel)
+		if err != nil {
+			return nil, fmt.Errorf("restore %s: %w", snapPath, err)
+		}
+		log.Printf("database restored from %s", snapPath)
+		return db, nil
 	}
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		log.Printf("snapshot %s not found; starting empty", path)
-		return spatialtf.Open(), nil
+
+	var sync spatialtf.SyncMode
+	switch walSync {
+	case "always":
+		sync = spatialtf.SyncAlways
+	case "batch":
+		sync = spatialtf.SyncBatch
+	case "off":
+		sync = spatialtf.SyncOff
+	default:
+		return nil, fmt.Errorf("bad -wal-sync %q (want always|batch|off)", walSync)
 	}
+	db, err := spatialtf.OpenDir(dataDir, spatialtf.DirOptions{
+		PoolPages:       poolPages,
+		Sync:            sync,
+		CheckpointBytes: checkpointMB << 20,
+		Parallel:        parallel,
+		Telemetry:       reg,
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("open data dir %s: %w", dataDir, err)
 	}
-	defer f.Close()
-	db, err := spatialtf.Restore(f, parallel)
-	if err != nil {
-		return nil, fmt.Errorf("restore %s: %w", path, err)
+	if n := len(db.TableNames()); n > 0 {
+		log.Printf("data directory %s opened (%d tables recovered)", dataDir, n)
+		return db, nil
 	}
-	log.Printf("database restored from %s", path)
+	if snapPath != "" {
+		imported, err := importSnapshot(db, snapPath, parallel)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if imported {
+			log.Printf("snapshot %s imported into %s", snapPath, dataDir)
+		}
+	}
 	return db, nil
 }
 
-// saveSnapshot writes the database atomically (temp file + rename).
+// importSnapshot migrates a snapshot into an empty durable database:
+// tables are copied row by row (rowids are NOT preserved — the snapshot
+// format never had stable rowids) and indexes are recreated with their
+// original parameters. Returns false if the snapshot does not exist.
+func importSnapshot(db *spatialtf.DB, path string, parallel int) (bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	mem, err := spatialtf.Restore(f, parallel)
+	if err != nil {
+		return false, fmt.Errorf("restore %s: %w", path, err)
+	}
+	names := mem.TableNames()
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := mem.Table(name)
+		if err != nil {
+			return false, err
+		}
+		dst, err := db.CreateTable(name, src.Inner().Schema())
+		if err != nil {
+			return false, err
+		}
+		var insertErr error
+		if err := src.Scan(func(_ spatialtf.RowID, row spatialtf.Row) bool {
+			_, insertErr = dst.Insert(row...)
+			return insertErr == nil
+		}); err != nil {
+			return false, err
+		}
+		if insertErr != nil {
+			return false, fmt.Errorf("import table %q: %w", name, insertErr)
+		}
+	}
+	metas, err := mem.IndexMetadata()
+	if err != nil {
+		return false, err
+	}
+	for _, m := range metas {
+		opt := spatialtf.IndexOptions{
+			Fanout:         m.Fanout,
+			TilingLevel:    m.TilingLevel,
+			InteriorEffort: m.InteriorEffort,
+			Parallel:       parallel,
+		}
+		if m.Kind == spatialtf.Quadtree {
+			opt.Bounds = m.Bounds
+		}
+		if _, err := db.CreateIndexOn(m.IndexName, m.TableName, m.ColumnName, m.Kind, opt); err != nil {
+			return false, fmt.Errorf("import index %q: %w", m.IndexName, err)
+		}
+	}
+	return true, nil
+}
+
+// saveSnapshot writes the database atomically and durably: temp file,
+// fsync, rename, directory fsync — a crash mid-save leaves either the
+// old snapshot or the new one, never a torn file.
 func saveSnapshot(db *spatialtf.DB, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -175,6 +303,9 @@ func saveSnapshot(db *spatialtf.DB, path string) error {
 		return err
 	}
 	err = db.Save(f)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -182,15 +313,32 @@ func saveSnapshot(db *spatialtf.DB, path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // loadDataset parses name:n[:seed] and loads it, indexing the geometry
-// column per kind.
+// column per kind. A table that already exists — recovered from a data
+// directory — is left alone, so the same -load flags are safe across
+// restarts.
 func loadDataset(db *spatialtf.DB, spec, kind string, parallel int) error {
 	parts := strings.Split(spec, ":")
 	if len(parts) < 2 || len(parts) > 3 {
 		return fmt.Errorf("bad -load %q (want name:n[:seed])", spec)
+	}
+	if t, err := db.Table(parts[0]); err == nil {
+		log.Printf("table %s already holds %d rows; skipping -load %s", parts[0], t.Len(), spec)
+		return nil
 	}
 	n, err := strconv.Atoi(parts[1])
 	if err != nil || n < 1 {

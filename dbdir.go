@@ -1,0 +1,331 @@
+package spatialtf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"spatialtf/internal/pager"
+	"spatialtf/internal/storage"
+)
+
+// Durable database directories. OpenDir binds a DB to an on-disk data
+// directory backed by the paged storage engine: every table lives in
+// its own page space of a shared page file, mutations are write-ahead
+// logged, and reopening the directory recovers committed state from
+// WAL + checkpoint — no snapshot rewrite involved. Rowids are stable
+// across restarts (unlike Save/Restore, which reinserts rows).
+//
+// The directory layout is:
+//
+//	pages.db     fixed-size-page file (superblock + checksummed pages)
+//	wal.log      write-ahead log, rotated at checkpoint
+//	catalog.bin  table and index catalog (atomic rewrite on DDL)
+//
+// Spatial indexes are not paged: the catalog persists their metadata
+// (kind and parameters) and OpenDir rebuilds them from table rows,
+// exactly as CREATE INDEX would — the paper's parallel index creation
+// makes the rebuild cheap.
+
+// SyncMode selects when the WAL is fsynced (re-exported from the pager).
+type SyncMode = pager.SyncMode
+
+// WAL sync policies for DirOptions.Sync.
+const (
+	// SyncAlways fsyncs the WAL on every commit: no committed write is
+	// ever lost.
+	SyncAlways = pager.SyncAlways
+	// SyncBatch group-commits: the WAL is fsynced at a short interval,
+	// bounding loss to that window.
+	SyncBatch = pager.SyncBatch
+	// SyncOff leaves fsync to the OS; crash durability is best-effort.
+	SyncOff = pager.SyncOff
+)
+
+// DirOptions tunes OpenDir.
+type DirOptions struct {
+	// PoolPages is the buffer-pool capacity in pages (0 = default 1024).
+	PoolPages int
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncMode
+	// SyncInterval is the SyncBatch group-commit window (0 = default).
+	SyncInterval time.Duration
+	// CheckpointBytes triggers a checkpoint once the WAL grows past it
+	// (0 = default 16 MiB).
+	CheckpointBytes int64
+	// Parallel is the worker count for rebuilding spatial indexes on
+	// open (0 or 1 = sequential).
+	Parallel int
+	// Telemetry, when non-nil, receives the storage-engine metrics
+	// (pool hits/misses/evictions, WAL bytes, checkpoints, fsync
+	// latency) and the database metric set (EnableTelemetry).
+	Telemetry *TelemetryRegistry
+
+	// fs overrides the filesystem (crash-injection tests).
+	fs pager.FS
+}
+
+// catalog format (little endian):
+//
+//	magic "STFCAT01"
+//	uvarint table count
+//	per table: string name; uvarint page-space id; uvarint ncols;
+//	  per column (string name, byte type)
+//	uvarint index count
+//	per index: strings name/table/column/kind; uvarints fanout,
+//	  tilingLevel, interiorEffort; 4 × float64 bounds
+//	uint32 CRC-32C over everything above
+const (
+	catalogMagic = "STFCAT01"
+	catalogFile  = "catalog.bin"
+	// maxCatalogEntries bounds table and index counts read from disk
+	// before they size allocations.
+	maxCatalogEntries = 1 << 16
+)
+
+var catalogCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenDir opens (creating if needed) a durable database in dir. Crash
+// recovery — WAL redo and checkpoint convergence — happens inside the
+// pager before tables are bound; index rebuild happens here.
+func OpenDir(dir string, opt DirOptions) (*DB, error) {
+	fs := opt.fs
+	if fs == nil {
+		fs = pager.OSFS
+	}
+	store, err := pager.Open(dir, pager.Options{
+		PoolPages:       opt.PoolPages,
+		Sync:            opt.Sync,
+		SyncInterval:    opt.SyncInterval,
+		CheckpointBytes: opt.CheckpointBytes,
+		FS:              fs,
+		Telemetry:       opt.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := Open()
+	db.store = store
+	db.dirFS = fs
+	db.catalogPath = filepath.Join(dir, catalogFile)
+	db.spaceOf = make(map[string]uint32)
+	db.nextSpace = 1
+	if opt.Telemetry != nil {
+		db.EnableTelemetry(opt.Telemetry)
+	}
+	if err := db.loadCatalog(opt.Parallel); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Durable reports whether the database is backed by a data directory.
+func (db *DB) Durable() bool { return db.store != nil }
+
+// Checkpoint flushes committed pages to the page file and rotates the
+// WAL. A no-op on non-durable databases.
+func (db *DB) Checkpoint() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Checkpoint()
+}
+
+// Close checkpoints and releases the data directory. A no-op on
+// non-durable databases; safe to call twice.
+func (db *DB) Close() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Close()
+}
+
+// TableNames lists the database's tables in no particular order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// loadCatalog binds the catalogued tables to their page spaces and
+// rebuilds the catalogued indexes. A missing catalog is an empty
+// database (first open).
+func (db *DB) loadCatalog(parallel int) error {
+	ok, err := db.dirFS.Exists(db.catalogPath)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	f, err := db.dirFS.Open(db.catalogPath)
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	raw := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(raw, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("spatialtf: read catalog: %w", err)
+		}
+	}
+	f.Close()
+
+	if len(raw) < len(catalogMagic)+4 || string(raw[:len(catalogMagic)]) != catalogMagic {
+		return fmt.Errorf("spatialtf: %s is not a catalog", db.catalogPath)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, catalogCRC) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("spatialtf: catalog checksum mismatch")
+	}
+	br := bufio.NewReader(bytes.NewReader(body[len(catalogMagic):]))
+
+	tableCount, err := binary.ReadUvarint(br)
+	if err != nil || tableCount > maxCatalogEntries {
+		return fmt.Errorf("spatialtf: catalog table count: %v", err)
+	}
+	for i := uint64(0); i < tableCount; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return fmt.Errorf("spatialtf: catalog table %d: %w", i, err)
+		}
+		space, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		ncols, err := binary.ReadUvarint(br)
+		if err != nil || ncols == 0 || ncols > maxSnapshotCols {
+			return fmt.Errorf("spatialtf: catalog table %q columns: %v", name, err)
+		}
+		schema := make([]Column, ncols)
+		for c := range schema {
+			cn, err := readString(br)
+			if err != nil {
+				return err
+			}
+			tb, err := br.ReadByte()
+			if err != nil {
+				return err
+			}
+			schema[c] = Column{Name: cn, Type: storage.ColType(tb)}
+		}
+		inner, err := storage.OpenTable(name, schema, db.store.Space(uint32(space)))
+		if err != nil {
+			return fmt.Errorf("spatialtf: open table %q: %w", name, err)
+		}
+		db.tables[name] = &Table{db: db, inner: inner}
+		db.spaceOf[name] = uint32(space)
+		if uint32(space) >= db.nextSpace {
+			db.nextSpace = uint32(space) + 1
+		}
+	}
+
+	idxCount, err := binary.ReadUvarint(br)
+	if err != nil || idxCount > maxCatalogEntries {
+		return fmt.Errorf("spatialtf: catalog index count: %v", err)
+	}
+	for i := uint64(0); i < idxCount; i++ {
+		var fields [4]string
+		for j := range fields {
+			s, err := readString(br)
+			if err != nil {
+				return fmt.Errorf("spatialtf: catalog index %d: %w", i, err)
+			}
+			fields[j] = s
+		}
+		var nums [3]uint64
+		for j := range nums {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			nums[j] = v
+		}
+		var bounds MBR
+		for _, dst := range []*float64{&bounds.MinX, &bounds.MinY, &bounds.MaxX, &bounds.MaxY} {
+			var fbuf [8]byte
+			if _, err := io.ReadFull(br, fbuf[:]); err != nil {
+				return err
+			}
+			*dst = floatFromUint64(binary.LittleEndian.Uint64(fbuf[:]))
+		}
+		opt := IndexOptions{
+			Fanout:         int(nums[0]),
+			TilingLevel:    int(nums[1]),
+			InteriorEffort: int(nums[2]),
+			Parallel:       parallel,
+		}
+		if IndexKind(fields[3]) == Quadtree {
+			opt.Bounds = bounds
+		}
+		if _, err := db.createIndexOn(fields[0], fields[1], fields[2], IndexKind(fields[3]), opt, false); err != nil {
+			return fmt.Errorf("spatialtf: rebuild index %q: %w", fields[0], err)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("spatialtf: trailing bytes after catalog")
+	}
+	return nil
+}
+
+// writeCatalogLocked rewrites catalog.bin atomically (temp file, fsync,
+// rename, directory fsync). Caller holds db.mu.
+func (db *DB) writeCatalogLocked() error {
+	buf := []byte(catalogMagic)
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = catPutString(buf, name)
+		buf = binary.AppendUvarint(buf, uint64(db.spaceOf[name]))
+		schema := db.tables[name].inner.Schema()
+		buf = binary.AppendUvarint(buf, uint64(len(schema)))
+		for _, c := range schema {
+			buf = catPutString(buf, c.Name)
+			buf = append(buf, byte(c.Type))
+		}
+	}
+	metas, err := db.reg.MetadataRows()
+	if err != nil {
+		return err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(metas)))
+	for _, m := range metas {
+		buf = catPutString(buf, m.IndexName)
+		buf = catPutString(buf, m.TableName)
+		buf = catPutString(buf, m.ColumnName)
+		buf = catPutString(buf, string(m.Kind))
+		buf = binary.AppendUvarint(buf, uint64(m.Fanout))
+		buf = binary.AppendUvarint(buf, uint64(m.TilingLevel))
+		buf = binary.AppendUvarint(buf, uint64(m.InteriorEffort))
+		for _, f := range []float64{m.Bounds.MinX, m.Bounds.MinY, m.Bounds.MaxX, m.Bounds.MaxY} {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64FromFloat(f))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, catalogCRC))
+	return pager.AtomicWriteFile(db.dirFS, db.catalogPath, buf)
+}
+
+func catPutString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}

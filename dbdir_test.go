@@ -1,0 +1,204 @@
+package spatialtf
+
+import (
+	"testing"
+
+	"spatialtf/internal/pager"
+)
+
+// fillSpatial populates a spatial table with a grid of small rects and
+// returns the rowids in insert order.
+func fillSpatial(t *testing.T, tab *Table, n int) []RowID {
+	t.Helper()
+	ids := make([]RowID, n)
+	for i := 0; i < n; i++ {
+		x := float64(i%10) * 4
+		y := float64(i/10) * 4
+		id, err := tab.Add("row", MustRect(x, y, x+2, y+2))
+		if err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestOpenDirLifecycle(t *testing.T) {
+	fs := pager.NewMemFS()
+	db, err := OpenDir("data", DirOptions{fs: fs, PoolPages: 64})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	counties, err := db.CreateSpatialTable("counties")
+	if err != nil {
+		t.Fatalf("CreateSpatialTable: %v", err)
+	}
+	ids := fillSpatial(t, counties, 40)
+	if _, err := db.CreateIndex("counties_idx", "counties", RTree, IndexOptions{}); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	hits1, err := db.Relate("counties", "counties_idx", MustRect(0, 0, 9, 9), "anyinteract")
+	if err != nil {
+		t.Fatalf("Relate: %v", err)
+	}
+	if len(hits1) == 0 {
+		t.Fatal("no hits before restart")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: tables bind to their page spaces, indexes rebuild from the
+	// catalog, and rowids are stable (the whole point over Save/Restore).
+	db2, err := OpenDir("data", DirOptions{fs: fs, PoolPages: 64})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	c2, err := db2.Table("counties")
+	if err != nil {
+		t.Fatalf("Table after reopen: %v", err)
+	}
+	if c2.Len() != 40 {
+		t.Fatalf("reopened table has %d rows, want 40", c2.Len())
+	}
+	for i, id := range ids {
+		row, err := c2.Fetch(id)
+		if err != nil {
+			t.Fatalf("fetch %v after reopen: %v", id, err)
+		}
+		if row[0].I != int64(i) {
+			t.Fatalf("row %v id column = %d, want %d", id, row[0].I, i)
+		}
+	}
+	hits2, err := db2.Relate("counties", "counties_idx", MustRect(0, 0, 9, 9), "anyinteract")
+	if err != nil {
+		t.Fatalf("Relate after reopen: %v", err)
+	}
+	if len(hits2) != len(hits1) {
+		t.Fatalf("rebuilt index returns %d hits, want %d", len(hits2), len(hits1))
+	}
+
+	// Add keeps drawing fresh ids after reopen (sequence reseeds from
+	// stored rows).
+	id, err := c2.Add("late", MustRect(100, 100, 101, 101))
+	if err != nil {
+		t.Fatalf("Add after reopen: %v", err)
+	}
+	row, err := c2.Fetch(id)
+	if err != nil {
+		t.Fatalf("fetch late row: %v", err)
+	}
+	if row[0].I != 40 {
+		t.Fatalf("post-reopen Add drew id %d, want 40", row[0].I)
+	}
+}
+
+func TestOpenDirCrashDurability(t *testing.T) {
+	fs := pager.NewMemFS()
+	db, err := OpenDir("data", DirOptions{fs: fs, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	tab, err := db.CreateSpatialTable("stars")
+	if err != nil {
+		t.Fatalf("CreateSpatialTable: %v", err)
+	}
+	ids := fillSpatial(t, tab, 25)
+	if err := tab.Delete(ids[3]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	// SIGKILL: no Close, no Checkpoint; unsynced writes are lost.
+	clone := fs.CrashClone(fs.CrashPoints(), false, true)
+
+	db2, err := OpenDir("data", DirOptions{fs: clone, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db2.Close()
+	t2, err := db2.Table("stars")
+	if err != nil {
+		t.Fatalf("Table after crash: %v", err)
+	}
+	if t2.Len() != 24 {
+		t.Fatalf("recovered %d rows, want 24", t2.Len())
+	}
+	if _, err := t2.Fetch(ids[3]); err == nil {
+		t.Fatal("deleted row came back after crash recovery")
+	}
+	if _, err := t2.Fetch(ids[7]); err != nil {
+		t.Fatalf("committed row lost in crash: %v", err)
+	}
+}
+
+func TestOpenDirCatalogCorruptionDetected(t *testing.T) {
+	fs := pager.NewMemFS()
+	db, err := OpenDir("data", DirOptions{fs: fs})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if _, err := db.CreateSpatialTable("t"); err != nil {
+		t.Fatalf("CreateSpatialTable: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Flip a byte in the catalog body: reopen must refuse, not
+	// misinterpret.
+	f, err := fs.Open("data/catalog.bin")
+	if err != nil {
+		t.Fatalf("open catalog: %v", err)
+	}
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0)
+	buf[len(buf)/2] ^= 0xFF
+	f.WriteAt(buf, 0)
+	f.Sync()
+	if _, err := OpenDir("data", DirOptions{fs: fs}); err == nil {
+		t.Fatal("corrupt catalog accepted")
+	}
+}
+
+func TestOpenDirSharedStoreSegregatesTables(t *testing.T) {
+	fs := pager.NewMemFS()
+	db, err := OpenDir("data", DirOptions{fs: fs})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer db.Close()
+	a, err := db.CreateSpatialTable("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.CreateSpatialTable("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave inserts so the two tables' pages interleave in the
+	// shared page file; scans and counts must stay per-table.
+	for i := 0; i < 30; i++ {
+		if _, err := a.Add("a", MustRect(0, 0, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Add("b", MustRect(5, 5, 6, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 30 || b.Len() != 30 {
+		t.Fatalf("table lengths %d/%d, want 30/30", a.Len(), b.Len())
+	}
+	seen := 0
+	if err := a.Scan(func(_ RowID, row Row) bool {
+		if row[1].S != "a" {
+			t.Fatalf("table a scan surfaced row %q", row[1].S)
+		}
+		seen++
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if seen != 30 {
+		t.Fatalf("table a scan saw %d rows, want 30", seen)
+	}
+}

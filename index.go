@@ -46,7 +46,16 @@ func (db *DB) CreateIndex(name, table string, kind IndexKind, opt IndexOptions) 
 }
 
 // CreateIndexOn builds a spatial index on an explicit geometry column.
+// On a durable database the index parameters are catalogued, so the
+// index is rebuilt automatically on the next OpenDir.
 func (db *DB) CreateIndexOn(name, table, column string, kind IndexKind, opt IndexOptions) (*Index, error) {
+	return db.createIndexOn(name, table, column, kind, opt, true)
+}
+
+// createIndexOn is CreateIndexOn with catalog persistence optional:
+// OpenDir's rebuild pass recreates catalogued indexes without rewriting
+// the catalog it is reading from.
+func (db *DB) createIndexOn(name, table, column string, kind IndexKind, opt IndexOptions, persist bool) (*Index, error) {
 	t, err := db.Table(table)
 	if err != nil {
 		return nil, err
@@ -64,6 +73,14 @@ func (db *DB) CreateIndexOn(name, table, column string, kind IndexKind, opt Inde
 	meta, err := db.reg.Describe(name)
 	if err != nil {
 		return nil, err
+	}
+	if persist && db.store != nil {
+		db.mu.Lock()
+		err := db.writeCatalogLocked()
+		db.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("spatialtf: persist catalog: %w", err)
+		}
 	}
 	return &Index{db: db, name: name, inner: idx, meta: meta}, nil
 }

@@ -9,6 +9,8 @@
 //	               Unpin, or an escaping release func à la pinTrees)
 //	cursorclose    an opened cursor is Closed on every path, including
 //	               error returns
+//	latchpair      every pinned buffer-pool frame (pager.Space.Pin or
+//	               Allocate) is Unpinned on every path or handed off
 //	lockdiscipline no sync.Mutex/RWMutex held across a channel
 //	               operation, a cursor Fetch, or a wire write
 //	wireerr        no discarded error results from wire write/encode
@@ -102,6 +104,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		PinPair,
 		CursorClose,
+		LatchPair,
 		LockDiscipline,
 		WireErr,
 		FloatEq,

@@ -40,6 +40,31 @@ var CursorClose = &Analyzer{
 	Run:  runCursorClose,
 }
 
+// closeRule parameterizes the acquire/release dataflow engine below, so
+// the same analysis serves cursors (Close) and buffer-pool frames
+// (Unpin). isTracked recognizes the resource type, closing names the
+// methods that discharge the obligation, and the messages format the
+// two findings (neverMsg takes the local's name; leakMsg the name and
+// the acquire line).
+type closeRule struct {
+	name      string
+	isTracked func(types.Type) bool
+	closing   map[string]bool
+	neverMsg  string
+	leakMsg   string
+}
+
+var cursorCloseRule = &closeRule{
+	name:      "cursorclose",
+	isTracked: isCursorType,
+	closing: map[string]bool{
+		"Close":   true,
+		"Collect": true, // JoinCursor.Collect closes the cursor
+	},
+	neverMsg: "cursor %q is opened here but never Closed and never escapes; the cursor contract requires Close on every path",
+	leakMsg:  "return leaks cursor %q (opened at line %d): Close it on this path or use defer",
+}
+
 // isCursorType reports whether t (or *t) has Close() error plus
 // Next/Fetch in its method set.
 func isCursorType(t types.Type) bool {
@@ -72,13 +97,6 @@ func isCursorType(t types.Type) bool {
 	return hasClose && hasAdvance
 }
 
-// closingMethods are selector calls on the cursor that discharge the
-// close obligation themselves.
-var closingMethods = map[string]bool{
-	"Close":   true,
-	"Collect": true, // JoinCursor.Collect closes the cursor
-}
-
 // openInfo is one tracked cursor-typed local: where it was opened and
 // which error variable (if any) the same assignment produced.
 type openInfo struct {
@@ -98,6 +116,12 @@ type cursorFact struct {
 type closeFact map[types.Object]cursorFact
 
 func runCursorClose(pass *Pass) []Diag {
+	return runCloseDiscipline(pass, cursorCloseRule)
+}
+
+// runCloseDiscipline applies one closeRule to every function body of
+// the package.
+func runCloseDiscipline(pass *Pass, rule *closeRule) []Diag {
 	pkg := pass.Pkg
 	var diags []Diag
 	for _, f := range pkg.Files {
@@ -112,14 +136,14 @@ func runCursorClose(pass *Pass) []Diag {
 			if body == nil {
 				return true
 			}
-			diags = append(diags, cursorCloseFunc(pkg, body)...)
+			diags = append(diags, closeDisciplineFunc(pkg, body, rule)...)
 			return true
 		})
 	}
 	return diags
 }
 
-func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
+func closeDisciplineFunc(pkg *Pkg, body *ast.BlockStmt, rule *closeRule) []Diag {
 	info := pkg.Info
 	parents := parentMap(body)
 
@@ -169,7 +193,7 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 				continue
 			}
 			obj := info.Defs[id]
-			if obj == nil || !isCursorType(obj.Type()) {
+			if obj == nil || !rule.isTracked(obj.Type()) {
 				continue
 			}
 			o := &openInfo{obj: obj, name: id.Name, pos: as.Pos(), errObj: errObj, assign: as}
@@ -199,7 +223,7 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 		if o == nil {
 			return true
 		}
-		if kind, _ := classifyUse(info, parents, id); kind != useAdvance {
+		if kind, _ := classifyUse(info, parents, id, rule.closing); kind != useAdvance {
 			discharged[o.obj] = true
 		}
 		return true
@@ -208,8 +232,7 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 	var diags []Diag
 	for _, o := range tracked {
 		if !discharged[o.obj] {
-			diags = append(diags, diag(pkg, "cursorclose", o.pos,
-				"cursor %q is opened here but never Closed and never escapes; the cursor contract requires Close on every path", o.name))
+			diags = append(diags, diag(pkg, rule.name, o.pos, rule.neverMsg, o.name))
 		}
 	}
 
@@ -270,7 +293,7 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 				if _, live := f[o.obj]; !live {
 					return true
 				}
-				switch kind, _ := classifyUse(info, parents, id); kind {
+				switch kind, _ := classifyUse(info, parents, id, rule.closing); kind {
 				case useAdvance:
 					cf := f[o.obj]
 					cf.used = true
@@ -314,9 +337,8 @@ func cursorCloseFunc(pkg *Pkg, body *ast.BlockStmt) []Diag {
 			if o == nil {
 				continue
 			}
-			diags = append(diags, diag(pkg, "cursorclose", retPos,
-				"return leaks cursor %q (opened at line %d): Close it on this path or use defer",
-				o.name, pkg.Fset.Position(cf.openPos).Line))
+			diags = append(diags, diag(pkg, rule.name, retPos,
+				rule.leakMsg, o.name, pkg.Fset.Position(cf.openPos).Line))
 		}
 	}
 	return diags
@@ -337,10 +359,10 @@ const (
 )
 
 // classifyUse decides what an identifier occurrence does to the
-// cursor's obligation.
-func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident) (useKind, *ast.CallExpr) {
+// resource's obligation; closing names the discharging methods.
+func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, closing map[string]bool) (useKind, *ast.CallExpr) {
 	// A reference from inside a nested function literal is a capture:
-	// the closure owns (or shares) the cursor now, whatever it does
+	// the closure owns (or shares) the resource now, whatever it does
 	// with it.
 	for p := parents[id]; p != nil; p = parents[p] {
 		if _, ok := p.(*ast.FuncLit); ok {
@@ -353,7 +375,7 @@ func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident)
 			return useEscape, nil
 		}
 		if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
-			if closingMethods[p.Sel.Name] {
+			if closing[p.Sel.Name] {
 				return useClose, call
 			}
 			return useAdvance, call

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// LatchPair enforces the buffer pool's pin discipline: a *pager.Frame
+// obtained from a call (Space.Pin, Space.Allocate, or any helper that
+// returns one) must be Unpinned on every path out of the function, or
+// handed off — returned, stored, passed along — so responsibility for
+// the latch transfers with it. A pinned frame that leaks holds a pool
+// slot forever; enough leaks and every Pin in the process fails with
+// ErrPoolExhausted.
+//
+// The analysis is the same acquire/release dataflow as cursorclose
+// (see closeRule): the fact is the set of pinned frames on the current
+// path, Unpin and every form of escape discharge, and the pin's own
+// error edge (`err != nil` before any use of the frame) excuses the
+// failure path.
+var LatchPair = &Analyzer{
+	Name: "latchpair",
+	Doc:  "a pinned buffer-pool frame must be Unpinned on every path, including error returns",
+	Run:  runLatchPair,
+}
+
+var latchPairRule = &closeRule{
+	name:      "latchpair",
+	isTracked: isFrameType,
+	closing:   map[string]bool{"Unpin": true},
+	neverMsg:  "frame %q is pinned here but never Unpinned and never escapes; the pin discipline requires Unpin on every path",
+	leakMsg:   "return leaks pinned frame %q (pinned at line %d): Unpin it on this path or use defer",
+}
+
+func runLatchPair(pass *Pass) []Diag {
+	return runCloseDiscipline(pass, latchPairRule)
+}
+
+// isFrameType reports whether t is *pager.Frame.
+func isFrameType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Frame" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/pager")
+}

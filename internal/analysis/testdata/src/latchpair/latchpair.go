@@ -1,0 +1,89 @@
+// Package latchpair is the golden-file fixture for the latchpair
+// analyzer: a pinned buffer-pool frame must be Unpinned on every path
+// or handed off.
+package latchpair
+
+import "spatialtf/internal/pager"
+
+func neverUnpinned(sp pager.Space) uint16 {
+	f, err := sp.Pin(1) // want `frame "f" is pinned here but never Unpinned`
+	if err != nil {
+		return 0
+	}
+	return f.Kind()
+}
+
+func leaksOnErrorReturn(sp pager.Space, check func([]byte) error) error {
+	f, err := sp.Pin(1)
+	if err != nil {
+		return err
+	}
+	if err := check(f.Data()); err != nil {
+		return err // want `return leaks pinned frame "f"`
+	}
+	f.Unpin()
+	return nil
+}
+
+func deferredUnpin(sp pager.Space, check func([]byte) error) error {
+	f, err := sp.Pin(1)
+	if err != nil {
+		return err
+	}
+	defer f.Unpin()
+	return check(f.Data())
+}
+
+func unpinOnAllPaths(sp pager.Space, check func([]byte) error) error {
+	f, err := sp.Pin(1)
+	if err != nil {
+		return err
+	}
+	if err := check(f.Data()); err != nil {
+		f.Unpin()
+		return err
+	}
+	f.Unpin()
+	return nil
+}
+
+// errGuardIsNotALeak: the pin's own error path never held the latch,
+// so returning there is fine — but only before the frame is used.
+func errGuardIsNotALeak(sp pager.Space) error {
+	f, err := sp.Pin(7)
+	if err != nil {
+		return err
+	}
+	f.Unpin()
+	return nil
+}
+
+// escapeByReturn hands the pinned frame to the caller, transferring
+// the obligation.
+func escapeByReturn(sp pager.Space) (*pager.Frame, error) {
+	f, err := sp.Allocate(sp.Begin(), pager.KindSlotted)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// escapeByStore parks pinned frames in a slice the caller drains.
+func escapeByStore(sp pager.Space, out *[]*pager.Frame) error {
+	f, err := sp.Pin(3)
+	if err != nil {
+		return err
+	}
+	*out = append(*out, f)
+	return nil
+}
+
+// allocateLeak: allocation pins too.
+func allocateLeak(sp pager.Space) (uint32, error) {
+	tx := sp.Begin()
+	f, err := sp.Allocate(tx, pager.KindSlotted) // want `frame "f" is pinned here but never Unpinned`
+	if err != nil {
+		return 0, err
+	}
+	return f.ID(), nil
+}

@@ -1,0 +1,292 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MemFS is an in-memory FS that records every mutating operation, so
+// crash-recovery tests can rebuild the filesystem as it would look if
+// the process had died after any prefix of those operations — including
+// a torn (half-applied) final write, and optionally with all
+// not-yet-fsynced writes dropped (simulating lost OS cache).
+//
+// Model notes: renames are applied atomically and durably at replay
+// (journalling-filesystem semantics); file data writes are the part
+// that can be lost or torn. That is the failure surface the WAL
+// protocol must defend, and it is strictly harsher on data writes than
+// a real fsync-respecting disk.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	ops   []fsOp
+}
+
+type memFile struct {
+	name    string
+	synced  []byte
+	pending []memWrite
+}
+
+type memWrite struct {
+	off  int64
+	data []byte
+}
+
+type fsOpKind int
+
+const (
+	opCreate fsOpKind = iota
+	opWrite
+	opTruncate
+	opSync
+	opRename
+	opRemove
+	opSyncDir
+)
+
+type fsOp struct {
+	kind fsOpKind
+	name string // file (or old path for rename, dir for syncdir)
+	to   string // rename target
+	off  int64
+	data []byte
+	size int64 // truncate
+}
+
+// NewMemFS returns an empty recording filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// CrashPoints returns the number of recorded operations; CrashClone
+// accepts any k in [0, CrashPoints()].
+func (m *MemFS) CrashPoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ops)
+}
+
+// CrashClone rebuilds the filesystem as of operation k: the first k
+// recorded operations are replayed onto a fresh MemFS. If torn is true
+// and operation k is a data write, half of it is applied too — a torn
+// write cut mid-record. If dropUnsynced is true, writes not covered by
+// an fsync within the replayed prefix are discarded, modelling lost OS
+// cache on power failure.
+func (m *MemFS) CrashClone(k int, torn, dropUnsynced bool) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k > len(m.ops) {
+		k = len(m.ops)
+	}
+	c := NewMemFS()
+	for i := 0; i < k; i++ {
+		c.apply(m.ops[i])
+	}
+	if torn && k < len(m.ops) {
+		if op := m.ops[k]; op.kind == opWrite && len(op.data) > 1 {
+			half := op.data[:len(op.data)/2]
+			c.apply(fsOp{kind: opWrite, name: op.name, off: op.off, data: half})
+		}
+	}
+	if dropUnsynced {
+		for _, f := range c.files {
+			f.pending = nil
+		}
+	}
+	// The clone starts a fresh history; recovery's own writes are not
+	// part of the crashed prefix.
+	c.ops = nil
+	return c
+}
+
+// apply replays one op onto m (no recording).
+func (m *MemFS) apply(op fsOp) {
+	switch op.kind {
+	case opCreate:
+		m.files[op.name] = &memFile{name: op.name}
+	case opWrite:
+		if f := m.files[op.name]; f != nil {
+			d := make([]byte, len(op.data))
+			copy(d, op.data)
+			f.pending = append(f.pending, memWrite{off: op.off, data: d})
+		}
+	case opTruncate:
+		if f := m.files[op.name]; f != nil {
+			f.synced = clipTo(f.view(), op.size)
+			f.pending = nil
+		}
+	case opSync:
+		if f := m.files[op.name]; f != nil {
+			f.fold()
+		}
+	case opRename:
+		if f := m.files[op.name]; f != nil {
+			delete(m.files, op.name)
+			f.name = op.to
+			m.files[op.to] = f
+		}
+	case opRemove:
+		delete(m.files, op.name)
+	case opSyncDir:
+		// Renames are modelled durable on apply; nothing to do.
+	}
+}
+
+func clipTo(b []byte, size int64) []byte {
+	if int64(len(b)) > size {
+		return b[:size]
+	}
+	grown := make([]byte, size)
+	copy(grown, b)
+	return grown
+}
+
+// view materialises the file as the OS would read it back: synced bytes
+// with pending writes applied on top.
+func (f *memFile) view() []byte {
+	size := int64(len(f.synced))
+	for _, w := range f.pending {
+		if end := w.off + int64(len(w.data)); end > size {
+			size = end
+		}
+	}
+	out := make([]byte, size)
+	copy(out, f.synced)
+	for _, w := range f.pending {
+		copy(out[w.off:], w.data)
+	}
+	return out
+}
+
+// fold makes pending writes durable.
+func (f *memFile) fold() {
+	f.synced = f.view()
+	f.pending = nil
+}
+
+func (m *MemFS) record(op fsOp) { m.ops = append(m.ops, op) }
+
+// MkdirAll implements FS; MemFS has no directories.
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.record(fsOp{kind: opCreate, name: name})
+	f := &memFile{name: name}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Exists implements FS.
+func (m *MemFS) Exists(name string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.files[name]
+	return ok, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	m.record(fsOp{kind: opRemove, name: name})
+	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	m.record(fsOp{kind: opRename, name: oldpath, to: newpath})
+	delete(m.files, oldpath)
+	f.name = newpath
+	m.files[newpath] = f
+	return nil
+}
+
+// SyncDir implements FS.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.record(fsOp{kind: opSyncDir, name: dir})
+	return nil
+}
+
+// memHandle is an open MemFS file. Handles stay valid across Rename,
+// like POSIX file descriptors.
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	v := h.f.view()
+	if off >= int64(len(v)) {
+		return 0, fmt.Errorf("pager: memfs read past EOF of %s", h.f.name)
+	}
+	n := copy(p, v[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("pager: memfs short read of %s", h.f.name)
+	}
+	return n, nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	d := make([]byte, len(p))
+	copy(d, p)
+	h.fs.record(fsOp{kind: opWrite, name: h.f.name, off: off, data: d})
+	h.f.pending = append(h.f.pending, memWrite{off: off, data: d})
+	return len(p), nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return int64(len(h.f.view())), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.fs.record(fsOp{kind: opSync, name: h.f.name})
+	h.f.fold()
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.fs.record(fsOp{kind: opTruncate, name: h.f.name, size: size})
+	h.f.synced = clipTo(h.f.view(), size)
+	h.f.pending = nil
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -1,0 +1,258 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Crash recovery. The WAL is redo-only: recovery reads the valid record
+// prefix twice — pass one finds which transactions have a commit record
+// (and where the valid prefix ends: clean EOF, torn tail, or bad CRC),
+// pass two re-applies the committed transactions' records in log order.
+// A record is skipped when the page already carries an LSN at or past
+// it (the page-file copy is newer), which makes replay idempotent:
+// crashing during recovery and recovering again converges to the same
+// state. Open finishes with a checkpoint, so the repaired pages reach
+// the page file and the WAL rotates to empty.
+
+// openWALAndRecover opens wal.log (creating a fresh one if absent or
+// never durably initialised) and replays its committed suffix.
+func (s *Store) openWALAndRecover() error {
+	exists, err := s.fs.Exists(s.walPath)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return s.createWAL()
+	}
+	f, err := s.fs.Open(s.walPath)
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("pager: read WAL: %w", err)
+		}
+	}
+	// A header that never became durable (creation crashed between
+	// create and fsync) means no record was ever written either — the
+	// page file holds no data pages yet. Start over with a fresh log.
+	// A well-formed header with the wrong version or page size is a
+	// real mismatch and fails the open.
+	if len(buf) < walHdrSize || string(buf[:8]) != walMagic ||
+		binary.LittleEndian.Uint32(buf[24:]) != crc32.Checksum(buf[:24], castagnoli) {
+		f.Close()
+		if err := s.fs.Remove(s.walPath); err != nil {
+			return err
+		}
+		return s.createWAL()
+	}
+	pageSize, startLSN, err := decodeWALHeader(buf)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if pageSize != s.pageSize {
+		f.Close()
+		return fmt.Errorf("pager: WAL has page size %d, store has %d", pageSize, s.pageSize)
+	}
+	if startLSN > 0 {
+		s.nextLSN = startLSN
+	}
+
+	// Pass one: find the valid prefix and the committed transactions.
+	committed := make(map[uint64]struct{})
+	maxLSN, maxTX := s.nextLSN-1, uint64(0)
+	off := walHdrSize
+	for off < len(buf) {
+		rec, n, err := decodeWALRecord(buf[off:])
+		if err != nil {
+			break // torn tail or corrupt frame: prefix ends here
+		}
+		off += n
+		if rec.lsn > maxLSN {
+			maxLSN = rec.lsn
+		}
+		if rec.tx > maxTX {
+			maxTX = rec.tx
+		}
+		if rec.typ == recCommit {
+			committed[rec.tx] = struct{}{}
+		}
+	}
+	validEnd := off
+
+	// Pass two: redo the committed records in order.
+	off = walHdrSize
+	for off < validEnd {
+		rec, n, err := decodeWALRecord(buf[off:])
+		if err != nil {
+			break
+		}
+		off += n
+		if _, ok := committed[rec.tx]; !ok {
+			continue
+		}
+		if err := s.applyRecovery(&rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.nextLSN = maxLSN + 1
+	if maxTX >= s.nextTX {
+		s.nextTX = maxTX + 1
+	}
+	s.wal = f
+	s.walSize = int64(size)
+	return nil
+}
+
+// createWAL writes a fresh, durable, empty log.
+func (s *Store) createWAL() error {
+	f, err := s.fs.Create(s.walPath)
+	if err != nil {
+		return err
+	}
+	hdr := encodeWALHeader(s.pageSize, s.nextLSN)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("pager: write WAL header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("pager: sync WAL: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal = f
+	s.walSize = walHdrSize
+	return nil
+}
+
+// applyRecovery redoes one committed record.
+func (s *Store) applyRecovery(rec *walRecord) error {
+	switch rec.typ {
+	case recAlloc, recImage:
+		if rec.page == 0 {
+			return fmt.Errorf("%w: WAL %s of page 0", ErrCorrupt, recName(rec.typ))
+		}
+		if rec.page > s.pageCount {
+			s.pageCount = rec.page
+		}
+		f, err := s.pinRecovery(rec.page)
+		if err != nil {
+			return err
+		}
+		if f.lsn < rec.lsn {
+			if rec.typ == recImage {
+				if len(rec.image) != s.payload {
+					s.unpin(f)
+					return fmt.Errorf("%w: WAL image of %d bytes (payload is %d)", ErrCorrupt, len(rec.image), s.payload)
+				}
+				copy(f.data, rec.image)
+			} else {
+				for i := range f.data {
+					f.data[i] = 0
+				}
+			}
+			s.mu.Lock()
+			s.dropFromSpaces(rec.page)
+			s.addToSpace(rec.space, rec.page)
+			s.mu.Unlock()
+			f.space = rec.space
+			f.kind = rec.kind
+			f.lsn = rec.lsn
+			f.dirty = true
+		}
+		s.unpin(f)
+	case recPatch:
+		if rec.page == 0 || rec.page > s.pageCount {
+			return fmt.Errorf("%w: WAL patch of unallocated page %d", ErrCorrupt, rec.page)
+		}
+		f, err := s.pinRecovery(rec.page)
+		if err != nil {
+			return err
+		}
+		if f.lsn < rec.lsn {
+			for _, p := range rec.patches {
+				if p.Off < 0 || p.Off+len(p.Data) > len(f.data) {
+					s.unpin(f)
+					return fmt.Errorf("%w: WAL patch [%d, %d) outside page payload", ErrCorrupt, p.Off, p.Off+len(p.Data))
+				}
+				copy(f.data[p.Off:], p.Data)
+			}
+			f.lsn = rec.lsn
+			f.dirty = true
+		}
+		s.unpin(f)
+	case recCommit:
+	}
+	return nil
+}
+
+func recName(t byte) string {
+	switch t {
+	case recAlloc:
+		return "alloc"
+	case recPatch:
+		return "patch"
+	case recImage:
+		return "image"
+	case recCommit:
+		return "commit"
+	}
+	return "unknown"
+}
+
+// pinRecovery pins a page tolerantly: an unreadable or checksum-failing
+// page-file copy (torn write, never-written hole) yields a zeroed frame
+// at LSN 0, which the committed WAL records then rebuild — every first
+// touch of a page in a WAL generation is a full image or an alloc.
+func (s *Store) pinRecovery(id uint32) (*Frame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.frames[id]; f != nil {
+		f.pins++
+		f.ref = true
+		return f, nil
+	}
+	slot, err := s.grabSlotLocked()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, s.pageSize)
+	good := false
+	if _, err := s.pageFile.ReadAt(raw, s.pageOffset(id)); err == nil {
+		good = binary.LittleEndian.Uint32(raw[8:]) == pageCRC(raw)
+	}
+	if !good {
+		raw = make([]byte, s.pageSize)
+	}
+	f := &Frame{
+		id:    id,
+		data:  raw[frameHdrSize:],
+		raw:   raw,
+		store: s,
+		pins:  1,
+		ref:   true,
+		slot:  slot,
+	}
+	if good {
+		f.lsn = binary.LittleEndian.Uint64(raw[0:])
+		f.space = binary.LittleEndian.Uint32(raw[12:])
+		f.kind = binary.LittleEndian.Uint16(raw[16:])
+	}
+	s.slots[slot] = f
+	s.frames[id] = f
+	return f, nil
+}

@@ -1,6 +1,10 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+
+	"spatialtf/internal/pager"
+)
 
 // Cursor is the pull-based row stream consumed by table functions: the
 // Go rendering of the ref-cursor arguments in the paper's SQL examples.
@@ -19,26 +23,29 @@ type Cursor interface {
 // interleave. It observes rows inserted behind its position, matching
 // the read-committed-per-fetch behaviour of an Oracle cursor without a
 // serializable snapshot — adequate for the read-only workloads here.
+//
+// The cursor tracks its position as an index into the heap's page list,
+// which is append-only, so the position survives lock releases even as
+// the table grows. Each Next pins the current page, copies one row out,
+// and unpins before decoding.
 type tableCursor struct {
-	t      *Table
-	page   uint32
-	slot   int
-	toPage uint32 // exclusive; 0 means "end of table at each step"
-	closed bool
+	t        *Table
+	pageIdx  int
+	slot     int
+	fromPage uint32
+	toPage   uint32 // exclusive; 0 means "end of table at each step"
+	closed   bool
 }
 
 // NewCursor returns a cursor over all rows of t in storage order.
 func NewCursor(t *Table) Cursor {
-	return &tableCursor{t: t, page: 1, slot: 0}
+	return &tableCursor{t: t}
 }
 
 // NewRangeCursor returns a cursor over the rows stored in heap pages
 // [fromPage, toPage).
 func NewRangeCursor(t *Table, fromPage, toPage uint32) Cursor {
-	if fromPage < 1 {
-		fromPage = 1
-	}
-	return &tableCursor{t: t, page: fromPage, slot: 0, toPage: toPage}
+	return &tableCursor{t: t, fromPage: fromPage, toPage: toPage}
 }
 
 // Next advances to the next live row.
@@ -49,35 +56,70 @@ func (c *tableCursor) Next() (RowID, Row, bool, error) {
 	h := c.t.heap
 	for {
 		h.mu.RLock()
-		limit := uint32(len(h.pages))
-		if c.toPage != 0 && c.toPage < limit {
-			limit = c.toPage
-		}
-		if c.page >= limit {
+		if c.pageIdx >= len(h.pages) {
 			h.mu.RUnlock()
 			return InvalidRowID, nil, false, nil
 		}
-		p := h.pages[c.page]
-		n := p.slotCount()
-		for c.slot < n {
-			slot := c.slot
-			c.slot++
-			if p.slotLen(slot) == tombstoneLen {
-				continue
-			}
-			off := p.slotOffset(slot)
-			img := make([]byte, p.slotLen(slot))
-			copy(img, p.buf[off:])
+		pid := h.pages[c.pageIdx]
+		if pid < c.fromPage {
 			h.mu.RUnlock()
-			row, err := decodeRow(c.t.schema, img)
-			if err != nil {
-				return InvalidRowID, nil, false, fmt.Errorf("cursor on %q: %w", c.t.name, err)
-			}
-			return RowID{Page: c.page, Slot: uint16(slot)}, row, true, nil
+			c.pageIdx++
+			c.slot = 0
+			continue
 		}
+		if c.toPage != 0 && pid >= c.toPage {
+			h.mu.RUnlock()
+			return InvalidRowID, nil, false, nil
+		}
+		f, err := h.space.Pin(pid)
+		if err != nil {
+			h.mu.RUnlock()
+			return InvalidRowID, nil, false, fmt.Errorf("cursor on %q: %w", c.t.name, err)
+		}
+		var img []byte
+		id := InvalidRowID
+		switch f.Kind() {
+		case pager.KindSlotted:
+			p := page{buf: f.Data()}
+			n := p.slotCount()
+			for c.slot < n && img == nil {
+				slot := c.slot
+				c.slot++
+				if p.slotLen(slot) == tombstoneLen {
+					continue
+				}
+				off := p.slotOffset(slot)
+				img = make([]byte, p.slotLen(slot))
+				copy(img, p.buf[off:])
+				id = RowID{Page: pid, Slot: uint16(slot)}
+			}
+		case pager.KindJumboHead:
+			if c.slot == 0 {
+				c.slot++
+				row, jerr := h.fetchJumbo(nil, f)
+				if jerr != nil && jerr != ErrRowDeleted {
+					f.Unpin()
+					h.mu.RUnlock()
+					return InvalidRowID, nil, false, fmt.Errorf("cursor on %q: %w", c.t.name, jerr)
+				}
+				if jerr == nil {
+					img = row
+					id = RowID{Page: pid, Slot: 0}
+				}
+			}
+		}
+		f.Unpin()
 		h.mu.RUnlock()
-		c.page++
-		c.slot = 0
+		if img == nil {
+			c.pageIdx++
+			c.slot = 0
+			continue
+		}
+		row, err := decodeRow(c.t.schema, img)
+		if err != nil {
+			return InvalidRowID, nil, false, fmt.Errorf("cursor on %q: %w", c.t.name, err)
+		}
+		return id, row, true, nil
 	}
 }
 

@@ -1,9 +1,12 @@
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+
+	"spatialtf/internal/pager"
 )
 
 // Errors returned by heap operations.
@@ -13,87 +16,320 @@ var (
 	ErrRowTooLarge = errors.New("storage: row too large")
 )
 
-// Heap is a heap file: an append-oriented collection of slotted pages.
-// It is safe for concurrent use; reads take a shared lock so parallel
-// table-function instances can scan and fetch concurrently.
+// Jumbo rows are chained across pages: a head page whose payload is
+// [total length u32][next page u32][first chunk], then overflow pages
+// of [next page u32][chunk]. The head's rowid is the row's address
+// (slot 0); a total length of jumboTombstone marks a deleted jumbo row.
+// Slot bookkeeping on regular pages uses uint16 offsets, so a single
+// row keeps the historical just-under-64-KiB cap — ample for the
+// synthetic geometry workloads (≈ 16 bytes per vertex).
+const (
+	jumboHeadHdr   = 8
+	jumboOverHdr   = 4
+	jumboTombstone = 0xFFFFFFFF
+	maxJumboLen    = 0xFFFF - pageHeaderSize - slotEntrySize
+)
+
+// Heap is a heap file: an append-oriented collection of slotted pages
+// on a pager space. It is safe for concurrent use; reads take a shared
+// lock so parallel table-function instances can scan and fetch
+// concurrently. Every mutation runs as one pager transaction, so on a
+// durable space a crash leaves either the whole row operation or none
+// of it.
 type Heap struct {
-	mu       sync.RWMutex
-	pageSize int
-	// pages[0] is nil so that page number 0 (the InvalidRowID page) is
-	// never used.
-	pages []*page
-	// lastPage is the page currently receiving inserts.
+	mu      sync.RWMutex
+	space   pager.Space
+	payload int
+	// pages holds this heap's page ids in ascending order (the space
+	// may interleave several heaps' pages). Append-only: cursors hold
+	// indexes into it across lock releases.
+	pages []uint32
+	// lastPage is the slotted page currently receiving inserts.
 	lastPage uint32
+	// avail lists slotted pages (ascending, excluding lastPage) with
+	// reclaimed space worth backfilling — pages compaction has carved
+	// free bytes out of, and full pages demoted from lastPage.
+	avail    []uint32
 	rowCount int
 }
 
-// NewHeap returns an empty heap with the given page size (0 selects
-// DefaultPageSize).
+// NewHeap returns an empty in-memory heap with the given page size
+// (0 selects DefaultPageSize).
 func NewHeap(pageSize int) *Heap {
-	if pageSize <= 0 {
-		pageSize = DefaultPageSize
+	h, err := OpenHeap(pager.NewMem(pageSize))
+	if err != nil {
+		// A fresh Mem space has no pages to scan; opening it cannot fail.
+		panic(err)
 	}
-	if pageSize < 64 {
-		pageSize = 64
+	return h
+}
+
+// OpenHeap binds a heap to a pager space, rebuilding the in-memory
+// bookkeeping (row count, insert target, backfill list) by scanning the
+// space's pages. An empty space yields an empty heap.
+func OpenHeap(space pager.Space) (*Heap, error) {
+	h := &Heap{
+		space:   space,
+		payload: space.PayloadSize(),
+		pages:   space.Pages(),
 	}
-	return &Heap{pageSize: pageSize, pages: []*page{nil}}
+	lastFree := 0
+	for _, id := range h.pages {
+		f, err := space.Pin(id)
+		if err != nil {
+			return nil, fmt.Errorf("storage: open heap page %d: %w", id, err)
+		}
+		switch f.Kind() {
+		case pager.KindSlotted:
+			p := page{buf: f.Data()}
+			h.rowCount += p.liveCount()
+			// The page seen so far as the insert target is demoted to
+			// backfill if it still has room.
+			if h.lastPage != 0 && lastFree >= h.availMin() {
+				h.noteAvail(h.lastPage)
+			}
+			h.lastPage = id
+			lastFree = p.freeSpace()
+		case pager.KindJumboHead:
+			if binary.LittleEndian.Uint32(f.Data()) != jumboTombstone {
+				h.rowCount++
+			}
+		}
+		f.Unpin()
+	}
+	return h, nil
+}
+
+// availMin is the least free space that makes a page worth tracking for
+// backfill.
+func (h *Heap) availMin() int { return h.payload / 4 }
+
+// compactAt is the dead-byte threshold that triggers in-place page
+// compaction on delete.
+func (h *Heap) compactAt() int { return h.payload / 4 }
+
+// noteAvail adds id to the backfill list, keeping it sorted and
+// duplicate-free.
+func (h *Heap) noteAvail(id uint32) {
+	for _, v := range h.avail {
+		if v == id {
+			return
+		}
+	}
+	h.avail = append(h.avail, id)
+	for i := len(h.avail) - 1; i > 0 && h.avail[i] < h.avail[i-1]; i-- {
+		h.avail[i], h.avail[i-1] = h.avail[i-1], h.avail[i]
+	}
+}
+
+// dropAvail removes id from the backfill list.
+func (h *Heap) dropAvail(id uint32) {
+	for i, v := range h.avail {
+		if v == id {
+			h.avail = append(h.avail[:i], h.avail[i+1:]...)
+			return
+		}
+	}
 }
 
 // Insert appends row and returns its rowid. The row bytes are copied.
 func (h *Heap) Insert(row []byte) (RowID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(row) > maxRowLen(h.pageSize) {
+	if len(row) > maxRowLen(h.payload) {
 		return h.insertJumbo(row)
 	}
-	if h.lastPage == 0 || h.pages[h.lastPage].freeSpace() < len(row) {
-		h.pages = append(h.pages, newPage(h.pageSize))
-		h.lastPage = uint32(len(h.pages) - 1)
+	tx := h.space.Begin()
+	f, err := h.pinInsertTarget(tx, len(row))
+	if err != nil {
+		h.space.Rollback(tx)
+		return InvalidRowID, err
 	}
-	p := h.pages[h.lastPage]
+	p := page{buf: f.Data()}
 	slot, err := p.insert(row)
 	if err != nil {
+		f.Unpin()
+		h.space.Rollback(tx)
+		return InvalidRowID, err
+	}
+	off := p.slotOffset(slot)
+	base := pageHeaderSize + slot*slotEntrySize
+	h.space.Record(tx, f,
+		pager.Patch{Off: 0, Data: p.buf[0:pageHeaderSize]},
+		pager.Patch{Off: base, Data: p.buf[base : base+slotEntrySize]},
+		pager.Patch{Off: off, Data: p.buf[off : off+len(row)]},
+	)
+	id := RowID{Page: f.ID(), Slot: uint16(slot)}
+	f.Unpin()
+	if err := h.space.Commit(tx); err != nil {
 		return InvalidRowID, err
 	}
 	h.rowCount++
-	return RowID{Page: h.lastPage, Slot: uint16(slot)}, nil
+	return id, nil
 }
 
-// insertJumbo gives an oversized row a dedicated page sized to fit.
-// Slot bookkeeping uses uint16 offsets, so a single row is limited to
-// just under 64 KiB — ample for the synthetic geometry workloads
-// (≈ 16 bytes per vertex).
-func (h *Heap) insertJumbo(row []byte) (RowID, error) {
-	size := len(row) + pageHeaderSize + slotEntrySize
-	if size > 0xFFFF {
-		return InvalidRowID, fmt.Errorf("%w: %d bytes (max %d)", ErrRowTooLarge, len(row), 0xFFFF-pageHeaderSize-slotEntrySize)
+// pinInsertTarget returns a pinned slotted page with room for a row of
+// `need` bytes: the current insert target, a backfill page, or a fresh
+// allocation.
+func (h *Heap) pinInsertTarget(tx pager.Tx, need int) (*pager.Frame, error) {
+	lastFree := 0
+	if h.lastPage != 0 {
+		f, err := h.space.Pin(h.lastPage)
+		if err != nil {
+			return nil, err
+		}
+		lastFree = (page{buf: f.Data()}).freeSpace()
+		if lastFree >= need {
+			return f, nil
+		}
+		f.Unpin()
 	}
-	p := newPage(size)
-	slot, err := p.insert(row)
+	// demote parks the outgoing insert target on the backfill list if it
+	// can still take smaller rows.
+	demote := func() {
+		if h.lastPage != 0 && lastFree >= h.availMin() {
+			h.noteAvail(h.lastPage)
+		}
+	}
+	for i := 0; i < len(h.avail); i++ {
+		f, err := h.space.Pin(h.avail[i])
+		if err != nil {
+			return nil, err
+		}
+		if (page{buf: f.Data()}).freeSpace() >= need {
+			// Promote the backfill page to insert target so follow-up
+			// inserts keep filling it instead of allocating fresh pages.
+			h.avail = append(h.avail[:i], h.avail[i+1:]...)
+			demote()
+			h.lastPage = f.ID()
+			return f, nil
+		}
+		f.Unpin()
+	}
+	f, err := h.space.Allocate(tx, pager.KindSlotted)
+	if err != nil {
+		return nil, err
+	}
+	initPage(f.Data())
+	demote()
+	h.pages = append(h.pages, f.ID())
+	h.lastPage = f.ID()
+	return f, nil
+}
+
+// insertJumbo stores an oversized row as a page chain. Overflow pages
+// are built tail-first, each as its own committed pager transaction;
+// the head page commits last, so a crash mid-chain leaves at most
+// unreachable overflow pages, never a visible partial row.
+func (h *Heap) insertJumbo(row []byte) (RowID, error) {
+	if len(row) > maxJumboLen {
+		return InvalidRowID, fmt.Errorf("%w: %d bytes (max %d)", ErrRowTooLarge, len(row), maxJumboLen)
+	}
+	headCap := h.payload - jumboHeadHdr
+	overCap := h.payload - jumboOverHdr
+	rest := len(row) - headCap
+	nOver := 0
+	if rest > 0 {
+		nOver = (rest + overCap - 1) / overCap
+	}
+	next := uint32(0)
+	for i := nOver - 1; i >= 0; i-- {
+		start := headCap + i*overCap
+		end := start + overCap
+		if end > len(row) {
+			end = len(row)
+		}
+		id, err := h.appendJumboPage(pager.KindOverflow, next, 0, row[start:end])
+		if err != nil {
+			return InvalidRowID, err
+		}
+		next = id
+	}
+	headEnd := headCap
+	if headEnd > len(row) {
+		headEnd = len(row)
+	}
+	id, err := h.appendJumboPage(pager.KindJumboHead, next, uint32(len(row)), row[:headEnd])
 	if err != nil {
 		return InvalidRowID, err
 	}
-	h.pages = append(h.pages, p)
-	// A jumbo page is full on arrival; do not direct future inserts at it.
 	h.rowCount++
-	return RowID{Page: uint32(len(h.pages) - 1), Slot: uint16(slot)}, nil
+	return RowID{Page: id, Slot: 0}, nil
+}
+
+// appendJumboPage allocates, fills and commits one page of a jumbo
+// chain, returning its id.
+func (h *Heap) appendJumboPage(kind uint16, next, total uint32, chunk []byte) (uint32, error) {
+	tx := h.space.Begin()
+	f, err := h.space.Allocate(tx, kind)
+	if err != nil {
+		h.space.Rollback(tx)
+		return 0, err
+	}
+	d := f.Data()
+	hdr := jumboOverHdr
+	if kind == pager.KindJumboHead {
+		binary.LittleEndian.PutUint32(d[0:], total)
+		binary.LittleEndian.PutUint32(d[4:], next)
+		hdr = jumboHeadHdr
+	} else {
+		binary.LittleEndian.PutUint32(d[0:], next)
+	}
+	copy(d[hdr:], chunk)
+	h.space.Record(tx, f, pager.Patch{Off: 0, Data: d[:hdr+len(chunk)]})
+	id := f.ID()
+	f.Unpin()
+	if err := h.space.Commit(tx); err != nil {
+		return 0, err
+	}
+	h.pages = append(h.pages, id)
+	return id, nil
+}
+
+// fetchJumbo assembles a jumbo row from its pinned head frame,
+// appending to dst.
+func (h *Heap) fetchJumbo(dst []byte, f *pager.Frame) ([]byte, error) {
+	d := f.Data()
+	total := binary.LittleEndian.Uint32(d)
+	if total == jumboTombstone {
+		return nil, ErrRowDeleted
+	}
+	if int(total) > maxJumboLen {
+		return nil, fmt.Errorf("storage: jumbo row of %d bytes exceeds cap %d", total, maxJumboLen)
+	}
+	next := binary.LittleEndian.Uint32(d[4:])
+	take := int(total)
+	if max := h.payload - jumboHeadHdr; take > max {
+		take = max
+	}
+	out := append(dst[:0], d[jumboHeadHdr:jumboHeadHdr+take]...)
+	remaining := int(total) - take
+	for remaining > 0 {
+		if next == 0 {
+			return nil, fmt.Errorf("storage: jumbo chain truncated with %d bytes missing", remaining)
+		}
+		of, err := h.space.Pin(next)
+		if err != nil {
+			return nil, fmt.Errorf("storage: jumbo chain page %d: %w", next, err)
+		}
+		od := of.Data()
+		next = binary.LittleEndian.Uint32(od)
+		take = remaining
+		if max := h.payload - jumboOverHdr; take > max {
+			take = max
+		}
+		out = append(out, od[jumboOverHdr:jumboOverHdr+take]...)
+		of.Unpin()
+		remaining -= take
+	}
+	return out, nil
 }
 
 // Fetch returns a copy of the row at id.
 func (h *Heap) Fetch(id RowID) ([]byte, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	p, err := h.pageFor(id)
-	if err != nil {
-		return nil, err
-	}
-	row, err := p.fetch(int(id.Slot))
-	if err != nil {
-		return nil, fmt.Errorf("fetch %v: %w", id, err)
-	}
-	out := make([]byte, len(row))
-	copy(out, row)
-	return out, nil
+	return h.fetchLocked(nil, id)
 }
 
 // FetchInto reads the row at id, appending to dst to avoid a fresh
@@ -102,37 +338,89 @@ func (h *Heap) Fetch(id RowID) ([]byte, error) {
 func (h *Heap) FetchInto(dst []byte, id RowID) ([]byte, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	p, err := h.pageFor(id)
-	if err != nil {
-		return nil, err
-	}
-	row, err := p.fetch(int(id.Slot))
-	if err != nil {
-		return nil, fmt.Errorf("fetch %v: %w", id, err)
-	}
-	return append(dst[:0], row...), nil
+	return h.fetchLocked(dst, id)
 }
 
-// Delete tombstones the row at id. The rowid is never reused.
+func (h *Heap) fetchLocked(dst []byte, id RowID) ([]byte, error) {
+	f, err := h.space.Pin(id.Page)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRowID, id)
+	}
+	defer f.Unpin()
+	switch f.Kind() {
+	case pager.KindSlotted:
+		p := page{buf: f.Data()}
+		row, err := p.fetch(int(id.Slot))
+		if err != nil {
+			return nil, fmt.Errorf("fetch %v: %w", id, err)
+		}
+		return append(dst[:0], row...), nil
+	case pager.KindJumboHead:
+		if id.Slot != 0 {
+			return nil, fmt.Errorf("fetch %v: %w", id, ErrBadRowID)
+		}
+		out, err := h.fetchJumbo(dst, f)
+		if err != nil {
+			return nil, fmt.Errorf("fetch %v: %w", id, err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrBadRowID, id)
+}
+
+// Delete tombstones the row at id. The rowid is never reused; when a
+// delete pushes a page's dead payload past the compaction threshold the
+// page is compacted in place, reclaiming the bytes for future inserts.
 func (h *Heap) Delete(id RowID) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	p, err := h.pageFor(id)
+	f, err := h.space.Pin(id.Page)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrBadRowID, id)
 	}
-	if err := p.delete(int(id.Slot)); err != nil {
-		return fmt.Errorf("delete %v: %w", id, err)
+	defer f.Unpin()
+	switch f.Kind() {
+	case pager.KindSlotted:
+		p := page{buf: f.Data()}
+		if err := p.delete(int(id.Slot)); err != nil {
+			return fmt.Errorf("delete %v: %w", id, err)
+		}
+		tx := h.space.Begin()
+		compacted := p.deadBytes() >= h.compactAt()
+		if compacted {
+			p.compact()
+			h.space.RecordImage(tx, f)
+		} else {
+			base := pageHeaderSize + int(id.Slot)*slotEntrySize
+			h.space.Record(tx, f, pager.Patch{Off: base, Data: p.buf[base : base+slotEntrySize]})
+		}
+		if err := h.space.Commit(tx); err != nil {
+			return err
+		}
+		if compacted && id.Page != h.lastPage && p.freeSpace() >= h.availMin() {
+			h.noteAvail(id.Page)
+		}
+	case pager.KindJumboHead:
+		d := f.Data()
+		if id.Slot != 0 {
+			return fmt.Errorf("%w: %v", ErrBadRowID, id)
+		}
+		if binary.LittleEndian.Uint32(d) == jumboTombstone {
+			return fmt.Errorf("delete %v: %w", id, ErrRowDeleted)
+		}
+		tx := h.space.Begin()
+		binary.LittleEndian.PutUint32(d[0:], jumboTombstone)
+		h.space.Record(tx, f, pager.Patch{Off: 0, Data: d[:4]})
+		if err := h.space.Commit(tx); err != nil {
+			return err
+		}
+		// The chain's overflow pages stay until a reorganisation, like
+		// Oracle row pieces.
+	default:
+		return fmt.Errorf("%w: %v", ErrBadRowID, id)
 	}
 	h.rowCount--
 	return nil
-}
-
-func (h *Heap) pageFor(id RowID) (*page, error) {
-	if id.Page == 0 || int(id.Page) >= len(h.pages) {
-		return nil, fmt.Errorf("%w: %v", ErrBadRowID, id)
-	}
-	return h.pages[id.Page], nil
 }
 
 // Len returns the number of live rows.
@@ -147,52 +435,80 @@ func (h *Heap) Len() int {
 func (h *Heap) PageCount() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return len(h.pages) - 1
+	return len(h.pages)
+}
+
+// PageSpan returns the half-open page-id interval [lo, hi) covering the
+// heap's pages. On a shared durable space the ids need not be dense —
+// other tables' pages interleave — so range partitioning must work in
+// id space, not page counts.
+func (h *Heap) PageSpan() (lo, hi uint32) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.pages) == 0 {
+		return 0, 0
+	}
+	return h.pages[0], h.pages[len(h.pages)-1] + 1
 }
 
 // Scan calls fn for every live row in storage order until fn returns
-// false. The row slice passed to fn aliases internal storage and must
+// false. The row slice passed to fn aliases the pinned page and must
 // not be retained. Scan holds a shared lock for its duration; writers
 // block until it finishes.
 func (h *Heap) Scan(fn func(id RowID, row []byte) bool) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	for pn := 1; pn < len(h.pages); pn++ {
-		stop := false
-		h.pages[pn].liveRows(func(slot int, row []byte) bool {
-			if !fn(RowID{Page: uint32(pn), Slot: uint16(slot)}, row) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if stop {
-			return
-		}
-	}
+	h.scanLocked(0, ^uint32(0), fn)
 }
 
 // ScanRange behaves like Scan restricted to pages in [fromPage, toPage).
 // Parallel table functions use it to partition a full scan into
-// contiguous page ranges.
+// contiguous page ranges. A jumbo row belongs to the range holding its
+// head page.
 func (h *Heap) ScanRange(fromPage, toPage uint32, fn func(id RowID, row []byte) bool) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	if fromPage < 1 {
-		fromPage = 1
-	}
-	if int(toPage) > len(h.pages) {
-		toPage = uint32(len(h.pages))
-	}
-	for pn := fromPage; pn < toPage; pn++ {
+	h.scanLocked(fromPage, toPage, fn)
+}
+
+func (h *Heap) scanLocked(fromPage, toPage uint32, fn func(id RowID, row []byte) bool) {
+	var jumbo []byte
+	for _, pid := range h.pages {
+		if pid < fromPage {
+			continue
+		}
+		if pid >= toPage {
+			return
+		}
+		f, err := h.space.Pin(pid)
+		if err != nil {
+			// A page the pool cannot produce ends the scan; the pager
+			// has already surfaced the corruption to writers.
+			return
+		}
 		stop := false
-		h.pages[pn].liveRows(func(slot int, row []byte) bool {
-			if !fn(RowID{Page: pn, Slot: uint16(slot)}, row) {
-				stop = true
-				return false
+		switch f.Kind() {
+		case pager.KindSlotted:
+			p := page{buf: f.Data()}
+			p.liveRows(func(slot int, row []byte) bool {
+				if !fn(RowID{Page: pid, Slot: uint16(slot)}, row) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		case pager.KindJumboHead:
+			if binary.LittleEndian.Uint32(f.Data()) != jumboTombstone {
+				row, err := h.fetchJumbo(jumbo, f)
+				if err != nil {
+					stop = true
+					break
+				}
+				jumbo = row
+				stop = !fn(RowID{Page: pid, Slot: 0}, row)
 			}
-			return true
-		})
+		}
+		f.Unpin()
 		if stop {
 			return
 		}

@@ -6,8 +6,8 @@ import (
 )
 
 // DefaultPageSize is the size of a regular heap page. Rows larger than
-// the page payload get a dedicated jumbo page sized to fit, the moral
-// equivalent of row chaining.
+// the page payload are stored as a jumbo chain: a head page plus
+// overflow pages, the moral equivalent of row chaining.
 const DefaultPageSize = 8192
 
 // page header layout (little endian):
@@ -18,39 +18,51 @@ const DefaultPageSize = 8192
 //	offset 4: slot directory, 4 bytes per slot: uint16 offset, uint16 length
 //
 // Row payload grows from the end of the page toward the directory.
-// A slot with length 0xFFFF is a tombstone (deleted row).
+// A slot with length 0xFFFF is a tombstone (deleted row). This layout
+// is the pager page payload verbatim: what Mem holds in RAM is what
+// Store writes to disk (behind the pager's own frame header, which
+// carries the page LSN and checksum).
 const (
 	pageHeaderSize = 4
 	slotEntrySize  = 4
 	tombstoneLen   = 0xFFFF
 )
 
-// page is a slotted heap page. All access is coordinated by the owning
-// Heap's lock.
+// page is a view over a slotted heap page payload. All access is
+// coordinated by the owning Heap's lock; the payload is pinned by the
+// caller for the lifetime of the view. The methods use value receivers
+// so a view can be built around any pinned frame's payload slice.
 type page struct {
 	buf []byte
 }
 
+// newPage returns a detached page of the given size (tests only; heaps
+// get page payloads from their pager space).
 func newPage(size int) *page {
 	p := &page{buf: make([]byte, size)}
-	p.setSlotCount(0)
-	p.setFreePtr(uint16(size))
+	initPage(p.buf)
 	return p
 }
 
-func (p *page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
-func (p *page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.buf[0:], uint16(n)) }
-func (p *page) freePtr() int        { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
-func (p *page) setFreePtr(v uint16) { binary.LittleEndian.PutUint16(p.buf[2:], v) }
+// initPage formats a zeroed payload as an empty slotted page.
+func initPage(buf []byte) {
+	binary.LittleEndian.PutUint16(buf[0:], 0)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(buf)))
+}
 
-func (p *page) slotOffset(i int) int {
+func (p page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+func (p page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.buf[0:], uint16(n)) }
+func (p page) freePtr() int        { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+func (p page) setFreePtr(v uint16) { binary.LittleEndian.PutUint16(p.buf[2:], v) }
+
+func (p page) slotOffset(i int) int {
 	return int(binary.LittleEndian.Uint16(p.buf[pageHeaderSize+i*slotEntrySize:]))
 }
-func (p *page) slotLen(i int) int {
+func (p page) slotLen(i int) int {
 	return int(binary.LittleEndian.Uint16(p.buf[pageHeaderSize+i*slotEntrySize+2:]))
 }
 
-func (p *page) setSlot(i, off, length int) {
+func (p page) setSlot(i, off, length int) {
 	base := pageHeaderSize + i*slotEntrySize
 	binary.LittleEndian.PutUint16(p.buf[base:], uint16(off))
 	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
@@ -58,7 +70,7 @@ func (p *page) setSlot(i, off, length int) {
 
 // freeSpace returns the bytes available for one more row including its
 // slot entry.
-func (p *page) freeSpace() int {
+func (p page) freeSpace() int {
 	dirEnd := pageHeaderSize + p.slotCount()*slotEntrySize
 	free := p.freePtr() - dirEnd - slotEntrySize
 	if free < 0 {
@@ -74,7 +86,7 @@ func maxRowLen(pageSize int) int {
 
 // insert places row in the page and returns its slot index. The caller
 // must have checked freeSpace.
-func (p *page) insert(row []byte) (int, error) {
+func (p page) insert(row []byte) (int, error) {
 	if len(row) > p.freeSpace() {
 		return 0, fmt.Errorf("storage: row of %d bytes exceeds page free space %d", len(row), p.freeSpace())
 	}
@@ -88,8 +100,8 @@ func (p *page) insert(row []byte) (int, error) {
 }
 
 // fetch returns the row bytes at slot i, aliasing the page buffer. The
-// caller must copy if it retains the bytes beyond the page lock.
-func (p *page) fetch(i int) ([]byte, error) {
+// caller must copy if it retains the bytes beyond the page pin.
+func (p page) fetch(i int) ([]byte, error) {
 	if i >= p.slotCount() {
 		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.slotCount())
 	}
@@ -101,10 +113,9 @@ func (p *page) fetch(i int) ([]byte, error) {
 	return p.buf[off : off+l], nil
 }
 
-// delete tombstones slot i. The payload space is not reclaimed; heap
-// compaction is out of scope for this substrate (Oracle likewise leaves
-// row pieces until a segment reorganisation).
-func (p *page) delete(i int) error {
+// delete tombstones slot i. The payload bytes stay behind until enough
+// of the page is dead that compact reclaims them in one pass.
+func (p page) delete(i int) error {
 	if i >= p.slotCount() {
 		return fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.slotCount())
 	}
@@ -116,7 +127,7 @@ func (p *page) delete(i int) error {
 }
 
 // liveRows calls fn for each non-deleted slot.
-func (p *page) liveRows(fn func(slot int, row []byte) bool) {
+func (p page) liveRows(fn func(slot int, row []byte) bool) {
 	n := p.slotCount()
 	for i := 0; i < n; i++ {
 		l := p.slotLen(i)
@@ -128,4 +139,55 @@ func (p *page) liveRows(fn func(slot int, row []byte) bool) {
 			return
 		}
 	}
+}
+
+// liveCount returns the number of non-deleted slots.
+func (p page) liveCount() int {
+	n, live := p.slotCount(), 0
+	for i := 0; i < n; i++ {
+		if p.slotLen(i) != tombstoneLen {
+			live++
+		}
+	}
+	return live
+}
+
+// deadBytes returns payload bytes occupied by tombstoned rows — space a
+// compact would reclaim. Slot directory entries are never reclaimed
+// (rowids are stable and never reused), so a page's directory only
+// grows; the payload behind tombstones is the recoverable part.
+func (p page) deadBytes() int {
+	used := len(p.buf) - p.freePtr()
+	live := 0
+	n := p.slotCount()
+	for i := 0; i < n; i++ {
+		if l := p.slotLen(i); l != tombstoneLen {
+			live += l
+		}
+	}
+	return used - live
+}
+
+// compact rewrites the payload so live rows pack the end of the page
+// contiguously, reclaiming tombstoned bytes. Slot indices are stable
+// (tombstones keep their directory entries), so no rowid changes; only
+// slot offsets move. The caller must log the page afterwards
+// (RecordImage) — compaction moves too many ranges for patch records to
+// be worthwhile.
+func (p page) compact() {
+	n := p.slotCount()
+	scratch := make([]byte, len(p.buf))
+	w := len(p.buf)
+	for i := 0; i < n; i++ {
+		l := p.slotLen(i)
+		if l == tombstoneLen {
+			continue
+		}
+		off := p.slotOffset(i)
+		w -= l
+		copy(scratch[w:], p.buf[off:off+l])
+		p.setSlot(i, w, l)
+	}
+	copy(p.buf[w:], scratch[w:])
+	p.setFreePtr(uint16(w))
 }

@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sync"
+
+	"spatialtf/internal/pager"
 )
 
 // Column describes one schema column.
@@ -35,9 +37,43 @@ type DMLHook interface {
 	RowDeleted(id RowID, row Row) error
 }
 
-// NewTable returns an empty table with the given schema. Column names
-// must be unique and non-empty.
+// NewTable returns an empty in-memory table with the given schema.
+// Column names must be unique and non-empty.
 func NewTable(name string, schema []Column) (*Table, error) {
+	byName, err := checkSchema(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		name:   name,
+		schema: schema,
+		byName: byName,
+		heap:   NewHeap(0),
+	}, nil
+}
+
+// OpenTable binds a table to a pager space — typically one backed by a
+// durable store, rebuilding the heap bookkeeping from the space's
+// pages. The schema must match the one the table was created with; the
+// catalog layer above persists and verifies it.
+func OpenTable(name string, schema []Column, space pager.Space) (*Table, error) {
+	byName, err := checkSchema(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := OpenHeap(space)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open table %q: %w", name, err)
+	}
+	return &Table{
+		name:   name,
+		schema: schema,
+		byName: byName,
+		heap:   heap,
+	}, nil
+}
+
+func checkSchema(name string, schema []Column) (map[string]int, error) {
 	if len(schema) == 0 {
 		return nil, fmt.Errorf("storage: table %q needs at least one column", name)
 	}
@@ -56,12 +92,7 @@ func NewTable(name string, schema []Column) (*Table, error) {
 		}
 		byName[c.Name] = i
 	}
-	return &Table{
-		name:   name,
-		schema: schema,
-		byName: byName,
-		heap:   NewHeap(0),
-	}, nil
+	return byName, nil
 }
 
 // Name returns the table name.
@@ -193,11 +224,15 @@ func (t *Table) Scan(fn func(id RowID, row Row) bool) error {
 	return decodeErr
 }
 
-// PageRanges splits the table's pages into n contiguous ranges of
-// roughly equal page count, the unit parallel table functions partition
-// a table scan by. Fewer than n ranges are returned for tiny tables.
+// PageRanges splits the table's page-id span into n contiguous ranges
+// of roughly equal width, the unit parallel table functions partition a
+// table scan by. Fewer than n ranges are returned for tiny tables. On a
+// shared durable store the span may include other tables' pages;
+// ScanRange skips those, so ranges stay disjoint and complete, merely
+// less balanced.
 func (t *Table) PageRanges(n int) [][2]uint32 {
-	total := uint32(t.heap.PageCount())
+	lo, hi := t.heap.PageSpan()
+	total := hi - lo
 	if n < 1 {
 		n = 1
 	}
@@ -210,7 +245,7 @@ func (t *Table) PageRanges(n int) [][2]uint32 {
 	out := make([][2]uint32, 0, n)
 	per := total / uint32(n)
 	rem := total % uint32(n)
-	start := uint32(1)
+	start := lo
 	for i := 0; i < n; i++ {
 		count := per
 		if uint32(i) < rem {

@@ -1,0 +1,106 @@
+#!/bin/sh
+# Crash-recovery smoke test: boot spatialserverd on a durable -data-dir,
+# load datasets and run a join over the wire, SIGKILL the daemon (no
+# drain, no checkpoint), reboot on the same directory, and require the
+# recovered database to answer the same counts and the same join —
+# proving WAL redo recovery end to end, not just in unit tests.
+# Dependency-free: POSIX sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+ssd_pid=""
+cleanup() {
+	[ -n "$ssd_pid" ] && kill -9 "$ssd_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/spatialserverd" ./cmd/spatialserverd
+go build -o "$tmp/spatialsql" ./cmd/spatialsql
+
+addr="127.0.0.1:7879"
+datadir="$tmp/data"
+
+boot() {
+	"$tmp/spatialserverd" -addr "$addr" -data-dir "$datadir" -wal-sync always \
+		-load counties:300:1 -load stars:900:2 >>"$tmp/ssd.log" 2>&1 &
+	ssd_pid=$!
+	i=0
+	until printf '\\q\n' | "$tmp/spatialsql" -connect "$addr" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 100 ]; then
+			echo "crash-smoke: daemon never came up" >&2
+			cat "$tmp/ssd.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# query runs one statement and prints the result rows (the varying
+# "elapsed:" line is stripped so outputs compare byte-for-byte).
+query() {
+	printf '%s\n\\q\n' "$1" | "$tmp/spatialsql" -connect "$addr" | grep -v '^elapsed:'
+}
+
+boot
+
+# Baseline: row counts and a join answer from the freshly loaded store.
+query "SELECT count(*) FROM counties;" >"$tmp/count1.out"
+query "SELECT count(*) FROM stars;" >"$tmp/count2.out"
+query "SELECT count(*) FROM TABLE(spatial_join('counties','geom','stars','geom','anyinteract', 2));" >"$tmp/join1.out"
+grep -q '(1 rows)' "$tmp/join1.out" || {
+	echo "crash-smoke: baseline join failed:" >&2
+	cat "$tmp/join1.out" >&2
+	exit 1
+}
+
+# A write after load, so recovery must replay WAL past the load batch.
+query "INSERT INTO counties VALUES (100000, 'smoke', 'POLYGON((0 0, 1 0, 1 1, 0 1, 0 0))');" >"$tmp/ins.out"
+query "SELECT count(*) FROM counties;" >"$tmp/count1b.out"
+
+# SIGKILL: no drain, no checkpoint, no snapshot. Recovery has only the
+# page file and the WAL.
+kill -9 "$ssd_pid"
+wait "$ssd_pid" 2>/dev/null || true
+ssd_pid=""
+
+boot
+grep -q 'already holds' "$tmp/ssd.log" || {
+	echo "crash-smoke: reboot did not recover tables (reloaded instead):" >&2
+	cat "$tmp/ssd.log" >&2
+	exit 1
+}
+
+query "SELECT count(*) FROM counties;" >"$tmp/count1r.out"
+query "SELECT count(*) FROM stars;" >"$tmp/count2r.out"
+query "SELECT count(*) FROM TABLE(spatial_join('counties','geom','stars','geom','anyinteract', 2));" >"$tmp/join2.out"
+
+cmp -s "$tmp/count1b.out" "$tmp/count1r.out" || {
+	echo "crash-smoke: counties count changed across crash:" >&2
+	diff "$tmp/count1b.out" "$tmp/count1r.out" >&2 || true
+	exit 1
+}
+cmp -s "$tmp/count2.out" "$tmp/count2r.out" || {
+	echo "crash-smoke: stars count changed across crash:" >&2
+	diff "$tmp/count2.out" "$tmp/count2r.out" >&2 || true
+	exit 1
+}
+cmp -s "$tmp/join1.out" "$tmp/join2.out" || {
+	echo "crash-smoke: join answer changed across crash:" >&2
+	diff "$tmp/join1.out" "$tmp/join2.out" >&2 || true
+	exit 1
+}
+
+kill "$ssd_pid"
+wait "$ssd_pid" 2>/dev/null || true
+ssd_pid=""
+grep -q 'data directory checkpointed' "$tmp/ssd.log" || {
+	echo "crash-smoke: clean shutdown did not checkpoint:" >&2
+	cat "$tmp/ssd.log" >&2
+	exit 1
+}
+
+echo "crash-smoke: ok (SIGKILL survived, counts and join identical after WAL recovery)"

@@ -28,6 +28,7 @@ import (
 
 	"spatialtf/internal/extidx"
 	"spatialtf/internal/geom"
+	"spatialtf/internal/pager"
 	"spatialtf/internal/sjoin"
 	"spatialtf/internal/storage"
 )
@@ -121,6 +122,15 @@ type DB struct {
 	telReg *TelemetryRegistry
 	instr  *sjoin.Instruments
 	tracer *Tracer
+
+	// Durable state (all zero for an embedded in-memory database; set by
+	// OpenDir): the paged store, the filesystem and path of the catalog,
+	// the table → page-space assignment, and the next free space id.
+	store       *pager.Store
+	dirFS       pager.FS
+	catalogPath string
+	spaceOf     map[string]uint32
+	nextSpace   uint32
 }
 
 // Open returns an empty database with the RTREE and QUADTREE indextypes
@@ -154,19 +164,39 @@ var (
 	ErrNoTable = errors.New("spatialtf: no such table")
 )
 
-// CreateTable creates a table with an arbitrary schema.
+// CreateTable creates a table with an arbitrary schema. On a durable
+// database (OpenDir) the table is assigned its own page space and the
+// catalog is rewritten atomically, so the table survives restarts.
 func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
-	inner, err := storage.NewTable(name, cols)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{db: db, inner: inner}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("spatialtf: table %q already exists", name)
 	}
+	var inner *storage.Table
+	var err error
+	if db.store != nil {
+		space := db.nextSpace
+		inner, err = storage.OpenTable(name, cols, db.store.Space(space))
+		if err == nil {
+			db.spaceOf[name] = space
+			db.nextSpace++
+		}
+	} else {
+		inner, err = storage.NewTable(name, cols)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, inner: inner}
 	db.tables[name] = t
+	if db.store != nil {
+		if err := db.writeCatalogLocked(); err != nil {
+			delete(db.tables, name)
+			delete(db.spaceOf, name)
+			return nil, fmt.Errorf("spatialtf: persist catalog: %w", err)
+		}
+	}
 	return t, nil
 }
 
