@@ -56,8 +56,13 @@ bench:
 
 # Compile-and-run smoke over every benchmark: one iteration each, no
 # timing fidelity, just proof they still execute.
+# The trailing lane re-runs the grid-partitioned join benches at 2
+# iterations: tile claiming and the per-tile skew metrics only exercise
+# interesting paths once the fixtures are warm, so give them one warm
+# pass beyond what the full 1x sweep above provides.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -count 1 ./...
+	$(GO) test -run NONE -bench 'Table2GridJoin|AblationGridTiles|AblationGridVsSubtree' -benchtime 2x -count 1 .
 
 # End-to-end observability check: boot spatialserverd with -metrics-addr,
 # run a join over the wire, scrape /metrics and assert the core series

@@ -26,6 +26,7 @@ var (
 	fixOnce     sync.Once
 	fixCounties sjoin.Source // 900 counties
 	fixStars    sjoin.Source // 5000 stars
+	fixBlocks   sjoin.Source // 1500 block groups (skewed)
 	fixBGTab    *storage.Table
 	fixBGDs     datagen.Dataset
 )
@@ -44,6 +45,10 @@ func fixtures(b *testing.B) {
 		}
 		fixBGDs = datagen.BlockGroups(1500, 3)
 		fixBGTab, _, err = datagen.LoadTable("bench_bg", fixBGDs)
+		if err != nil {
+			panic(err)
+		}
+		fixBlocks, err = benchSource("bench_blocks", fixBGDs)
 		if err != nil {
 			panic(err)
 		}
@@ -149,7 +154,7 @@ func BenchmarkTable2IndexJoinTelemetry(b *testing.B) {
 func BenchmarkTable2ParallelJoin(b *testing.B) {
 	fixtures(b)
 	cfg := sjoin.DefaultConfig()
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := sjoin.SimulateParallelIndexJoin(fixStars, fixStars, cfg, workers)
@@ -160,6 +165,33 @@ func BenchmarkTable2ParallelJoin(b *testing.B) {
 					b.Fatal("empty result")
 				}
 				b.ReportMetric(res.Elapsed.Seconds(), "sim-makespan-s")
+			}
+		})
+	}
+}
+
+// Table 2 on the grid-partitioned path: same star self-join, tiles
+// swept per-partition under the deterministic scheduler. sim-makespan-s
+// against BenchmarkTable2ParallelJoin at the same worker count is the
+// grid-vs-subtree comparison; tile-skew-max/mean-ms quantify how even
+// the tile costs are (dynamic dealing absorbs the difference).
+func BenchmarkTable2GridJoin(b *testing.B) {
+	fixtures(b)
+	cfg := sjoin.DefaultConfig()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sjoin.SimulateGridJoin(fixStars, fixStars, cfg, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Pairs) == 0 {
+					b.Fatal("empty result")
+				}
+				max, mean := res.TileSkew()
+				b.ReportMetric(res.Elapsed.Seconds(), "sim-makespan-s")
+				b.ReportMetric(float64(max.Microseconds())/1e3, "tile-skew-max-ms")
+				b.ReportMetric(float64(mean.Microseconds())/1e3, "tile-skew-mean-ms")
 			}
 		})
 	}
@@ -444,6 +476,81 @@ func BenchmarkAblationGeomCache(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Ablation 9: grid tile count — the GridShape default vs coarser and
+// finer uniform grids on the star self-join at 4 workers. Fewer tiles
+// mean less per-entry replication but worse load balance (higher
+// tile-skew); more tiles amortise skew at higher partition cost.
+func BenchmarkAblationGridTiles(b *testing.B) {
+	fixtures(b)
+	for _, tiles := range []int{0, 16, 64, 256, 1024} {
+		name := fmt.Sprintf("tiles=%d", tiles)
+		if tiles == 0 {
+			name = "tiles=auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := sjoin.DefaultConfig()
+			cfg.GridTiles = tiles
+			for i := 0; i < b.N; i++ {
+				res, err := sjoin.SimulateGridJoin(fixStars, fixStars, cfg, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				max, mean := res.TileSkew()
+				b.ReportMetric(res.Elapsed.Seconds(), "sim-makespan-s")
+				b.ReportMetric(float64(len(res.TileTimes)), "tiles")
+				b.ReportMetric(float64(res.Stats.Candidates), "candidates")
+				if mean > 0 {
+					b.ReportMetric(float64(max)/float64(mean), "skew-ratio")
+				}
+			}
+		})
+	}
+}
+
+// Ablation 10: grid vs subtree-pair partitioning at 4 workers across
+// the three datagen families — uniform polygons (counties), clustered
+// points (stars), and skewed polygons (block groups). This is the
+// spread the cost model in sjoin.ChoosePlan arbitrates.
+func BenchmarkAblationGridVsSubtree(b *testing.B) {
+	fixtures(b)
+	families := []struct {
+		name string
+		src  sjoin.Source
+	}{
+		{"uniform", fixCounties},
+		{"clustered", fixStars},
+		{"skewed", fixBlocks},
+	}
+	for _, fam := range families {
+		for _, grid := range []bool{true, false} {
+			algo := "subtree"
+			if grid {
+				algo = "grid"
+			}
+			b.Run(fam.name+"/algo="+algo, func(b *testing.B) {
+				cfg := sjoin.DefaultConfig()
+				for i := 0; i < b.N; i++ {
+					var elapsed float64
+					if grid {
+						res, err := sjoin.SimulateGridJoin(fam.src, fam.src, cfg, 4)
+						if err != nil {
+							b.Fatal(err)
+						}
+						elapsed = res.Elapsed.Seconds()
+					} else {
+						res, err := sjoin.SimulateParallelIndexJoin(fam.src, fam.src, cfg, 4)
+						if err != nil {
+							b.Fatal(err)
+						}
+						elapsed = res.Elapsed.Seconds()
+					}
+					b.ReportMetric(elapsed, "sim-makespan-s")
+				}
+			})
+		}
 	}
 }
 

@@ -5,7 +5,10 @@
 // point or shutdown path.
 package goleak
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 func work() {}
 
@@ -70,4 +73,45 @@ func rangesOverChannel(in <-chan int) {
 			_ = v
 		}
 	}()
+}
+
+// workerPool is the grid-join shape: N workers claim task indices off a
+// shared atomic cursor until it runs dry, joined by a WaitGroup. The
+// claim loop itself is not accounting evidence — the wg.Done/Wait pair
+// is what ties the workers to the caller.
+func workerPool(tasks []func()) {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(tasks) {
+					return
+				}
+				tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// unjoinedWorkerPool claims off the same shared cursor but nothing
+// waits for the workers: the atomic traffic alone must not count as a
+// join point.
+func unjoinedWorkerPool(tasks []func()) {
+	var next atomic.Int64
+	for w := 0; w < 4; w++ {
+		go func() { // want `goroutine is not joined`
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(tasks) {
+					return
+				}
+				tasks[i]()
+			}
+		}()
+	}
 }

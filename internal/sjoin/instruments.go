@@ -24,12 +24,19 @@ type Instruments struct {
 	Results      *telemetry.Counter
 	GeomFetches  *telemetry.Counter
 	FastAccepts  *telemetry.Counter
+	// TilesSwept counts grid tiles swept by the grid-partitioned path.
+	TilesSwept *telemetry.Counter
 	// Stage latencies, observed per batch-granular section: one
 	// primary-filter refill, one candidate sort, one secondary-filter
 	// drain.
 	PrimarySeconds   *telemetry.Histogram
 	SortSeconds      *telemetry.Histogram
 	SecondarySeconds *telemetry.Histogram
+	// Grid-path stage latencies: the one-time partition build, and one
+	// observation per tile sweep — the per-tile histogram is the skew
+	// signal (a long tail means uneven tiles).
+	GridPartitionSeconds *telemetry.Histogram
+	TileSweepSeconds     *telemetry.Histogram
 }
 
 // NewInstruments registers the join metric set on reg. On the Nop
@@ -42,12 +49,17 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 		Results:      reg.NewCounter("join_results_total", "exact-predicate survivors returned"),
 		GeomFetches:  reg.NewCounter("join_geom_fetches_total", "base-table geometry fetches by the secondary filter"),
 		FastAccepts:  reg.NewCounter("join_fast_accepts_total", "pairs accepted from interior approximations without a geometry fetch"),
+		TilesSwept:   reg.NewCounter("join_tiles_swept_total", "grid tiles swept by the grid-partitioned join"),
 		PrimarySeconds: reg.NewHistogram("join_primary_filter_seconds",
 			"latency of one primary-filter candidate refill", nil),
 		SortSeconds: reg.NewHistogram("join_candidate_sort_seconds",
 			"latency of one candidate-array sort", nil),
 		SecondarySeconds: reg.NewHistogram("join_secondary_filter_seconds",
 			"latency of one secondary-filter drain", nil),
+		GridPartitionSeconds: reg.NewHistogram("join_grid_partition_seconds",
+			"latency of the grid-partitioned join's one-time partition build", nil),
+		TileSweepSeconds: reg.NewHistogram("join_tile_sweep_seconds",
+			"latency of one grid-tile plane sweep (the per-tile skew histogram)", nil),
 	}
 }
 
@@ -63,23 +75,32 @@ func (in *Instruments) observeStage(s telemetry.Stage, d time.Duration) {
 		in.SortSeconds.Observe(d.Seconds())
 	case telemetry.StageSecondary:
 		in.SecondarySeconds.Observe(d.Seconds())
+	case telemetry.StageGridPartition:
+		in.GridPartitionSeconds.Observe(d.Seconds())
+	case telemetry.StageTileSweep:
+		in.TileSweepSeconds.Observe(d.Seconds())
 	}
 }
 
-// span opens a timed section for stage s, feeding both the shared
+// stageSpan opens a timed section for stage s, feeding both the shared
 // instruments and the per-query trace. When neither sink is attached it
 // returns a shared no-op and the clock is never read — the disabled
 // join pays one nil check per batch, nothing per candidate.
-func (j *JoinFunction) span(s telemetry.Stage) func() {
-	if j.instr == nil && j.trace == nil {
+func stageSpan(in *Instruments, tr *telemetry.Trace, s telemetry.Stage) func() {
+	if in == nil && tr == nil {
 		return nopSpan
 	}
 	start := time.Now()
 	return func() {
 		d := time.Since(start)
-		j.instr.observeStage(s, d)
-		j.trace.Add(s, d, 1)
+		in.observeStage(s, d)
+		tr.Add(s, d, 1)
 	}
+}
+
+// span is stageSpan over the join function's attached sinks.
+func (j *JoinFunction) span(s telemetry.Stage) func() {
+	return stageSpan(j.instr, j.trace, s)
 }
 
 var nopSpan = func() {}
@@ -99,5 +120,6 @@ func (j *JoinFunction) flushStats() {
 	in.Results.Add(int64(cur.Results - prev.Results))
 	in.GeomFetches.Add(int64(cur.GeomFetches - prev.GeomFetches))
 	in.FastAccepts.Add(int64(cur.FastAccepts - prev.FastAccepts))
+	in.TilesSwept.Add(int64(cur.TilesSwept - prev.TilesSwept))
 	j.flushed = cur
 }

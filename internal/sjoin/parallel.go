@@ -2,6 +2,7 @@ package sjoin
 
 import (
 	"fmt"
+	"slices"
 
 	"spatialtf/internal/rtree"
 	"spatialtf/internal/storage"
@@ -28,8 +29,44 @@ import (
 // (R12,S12).
 func SubtreePairs(a, b *rtree.Tree, descend int, cfg Config) []PairOfRoots {
 	cfg = cfg.withDefaults()
-	ra := a.SubtreeRoots(descend)
-	rb := b.SubtreeRoots(descend)
+	return crossRootPairs(a.SubtreeRoots(descend), b.SubtreeRoots(descend), cfg)
+}
+
+// PairOfRoots is one subtree-join task.
+type PairOfRoots struct {
+	A, B rtree.NodeRef
+}
+
+// SubtreePairsForWorkers picks the smallest descend level whose pruned
+// cross product yields at least `want` tasks (the paper: "we descend
+// both trees as far below as to get appropriate number of subtree-
+// joins"), defaulting to a few tasks per worker for balance. The
+// descent is incremental: each level's root lists are expanded from the
+// previous level's, so the trees are walked once to the final level
+// instead of re-descending from the root per candidate level.
+func SubtreePairsForWorkers(a, b *rtree.Tree, workers int, cfg Config) []PairOfRoots {
+	workers = normWorkers(workers)
+	cfg = cfg.withDefaults()
+	want := workers * 4 // a few tasks per instance smooths skew
+	maxDescend := a.Height() - 1
+	if h := b.Height() - 1; h < maxDescend {
+		maxDescend = h
+	}
+	ra := a.SubtreeRoots(0)
+	rb := b.SubtreeRoots(0)
+	for d := 0; ; d++ {
+		pairs := crossRootPairs(ra, rb, cfg)
+		if len(pairs) >= want || d >= maxDescend {
+			return pairs
+		}
+		ra = childRoots(ra)
+		rb = childRoots(rb)
+	}
+}
+
+// crossRootPairs is the pruned cross product of two root lists — the
+// inner step of SubtreePairs, shared by the incremental descent.
+func crossRootPairs(ra, rb []rtree.NodeRef, cfg Config) []PairOfRoots {
 	var out []PairOfRoots
 	for _, na := range ra {
 		ma := na.MBR()
@@ -42,31 +79,67 @@ func SubtreePairs(a, b *rtree.Tree, descend int, cfg Config) []PairOfRoots {
 	return out
 }
 
-// PairOfRoots is one subtree-join task.
-type PairOfRoots struct {
-	A, B rtree.NodeRef
-}
-
-// SubtreePairsForWorkers picks the smallest descend level whose pruned
-// cross product yields at least `want` tasks (the paper: "we descend
-// both trees as far below as to get appropriate number of subtree-
-// joins"), defaulting to a few tasks per worker for balance.
-func SubtreePairsForWorkers(a, b *rtree.Tree, workers int, cfg Config) []PairOfRoots {
-	if workers < 1 {
-		workers = 1
-	}
-	want := workers * 4 // a few tasks per instance smooths skew
-	maxDescend := a.Height() - 1
-	if h := b.Height() - 1; h < maxDescend {
-		maxDescend = h
-	}
-	var pairs []PairOfRoots
-	for d := 0; ; d++ {
-		pairs = SubtreePairs(a, b, d, cfg)
-		if len(pairs) >= want || d >= maxDescend {
-			return pairs
+// childRoots expands a root list by one level, preserving left-to-right
+// order (so the incremental descent enumerates the same roots, in the
+// same order, as SubtreeRoots at that level). Leaves stay as they are —
+// the descent cap keeps them out in practice, this is a guard.
+func childRoots(roots []rtree.NodeRef) []rtree.NodeRef {
+	out := make([]rtree.NodeRef, 0, len(roots)*2)
+	for _, r := range roots {
+		if r.IsLeaf() {
+			out = append(out, r)
+			continue
+		}
+		for i := 0; i < r.NumEntries(); i++ {
+			out = append(out, r.Child(i))
 		}
 	}
+	return out
+}
+
+// dealPairs deals subtree-pair tasks into `workers` static partitions,
+// longest first: tasks are ordered by estimated cost (the entry-count
+// product of the two roots) descending and each goes to the least
+// loaded partition — the classic LPT schedule, which keeps a skewed
+// task from landing on an already-full partition the way round-robin
+// dealing can. Deterministic: the sort is stable over the enumeration
+// order and ties pick the lowest partition index.
+func dealPairs(pairs []PairOfRoots, workers int) [][]nodePair {
+	parts := make([][]nodePair, workers)
+	if len(pairs) == 0 {
+		return parts
+	}
+	costs := make([]float64, len(pairs))
+	order := make([]int, len(pairs))
+	for i, p := range pairs {
+		costs[i] = float64(p.A.NumEntries()) * float64(p.B.NumEntries())
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(x, y int) int {
+		switch {
+		case costs[x] > costs[y]:
+			return -1
+		case costs[x] < costs[y]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	loads := make([]float64, workers)
+	for _, idx := range order {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if loads[i] < loads[w] {
+				w = i
+			}
+		}
+		p := pairs[idx]
+		parts[w] = append(parts[w], nodePair{p.A, p.B})
+		// The +1 spreads zero-cost tasks (empty roots) instead of piling
+		// them all on one partition.
+		loads[w] += costs[idx] + 1
+	}
+	return parts
 }
 
 // ParallelIndexJoin evaluates the spatial join with `workers` parallel
@@ -79,9 +152,7 @@ func ParallelIndexJoin(a, b Source, cfg Config, workers int) (storage.Cursor, er
 	// (the sharded LRU is safe for concurrent instances); otherwise each
 	// instance would warm a private cache.
 	cfg.GeomCache = cfg.resolveCache()
-	if workers < 1 {
-		workers = 1
-	}
+	workers = normWorkers(workers)
 	if _, err := a.geomColumn(); err != nil {
 		return nil, err
 	}
@@ -89,13 +160,7 @@ func ParallelIndexJoin(a, b Source, cfg Config, workers int) (storage.Cursor, er
 		return nil, err
 	}
 	pairs := SubtreePairsForWorkers(a.Tree, b.Tree, workers, cfg)
-
-	// Deal the tasks round-robin into `workers` partitions, mirroring
-	// the runtime partitioning of the input cursor across instances.
-	parts := make([][]nodePair, workers)
-	for i, p := range pairs {
-		parts[i%workers] = append(parts[i%workers], nodePair{p.A, p.B})
-	}
+	parts := dealPairs(pairs, workers)
 	var cursors []storage.Cursor
 	var tasks [][]nodePair
 	for _, part := range parts {

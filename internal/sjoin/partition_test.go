@@ -1,0 +1,245 @@
+package sjoin
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/geom"
+	"spatialtf/internal/telemetry"
+)
+
+// gridPairs drives the goroutine-parallel grid join and returns the
+// sorted result pairs.
+func gridPairs(t *testing.T, a, b Source, cfg Config, workers int) []Pair {
+	t.Helper()
+	cur, err := GridParallelJoin(a, b, cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := CollectPairs(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(pairs)
+	return pairs
+}
+
+// nestedPairs is the serial nested-loop ground truth, sorted.
+func nestedPairs(t *testing.T, a, b Source, cfg Config) []Pair {
+	t.Helper()
+	pairs, _, err := NestedLoopStats(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPairs(pairs)
+	return pairs
+}
+
+// TestGridJoinMatchesNestedSerial is the differential test of the
+// acceptance criteria: the grid-partitioned join must produce exactly
+// the serial nested join's pairs — no duplicates, no misses — across
+// uniform/clustered/skewed datasets, predicates, and worker counts.
+func TestGridJoinMatchesNestedSerial(t *testing.T) {
+	datasets := []struct {
+		name string
+		ds   datagen.Dataset
+	}{
+		{"uniform", datagen.Counties(160, 21)},
+		{"clustered", datagen.Stars(300, 22)},
+		{"skewed", datagen.BlockGroups(140, 23)},
+	}
+	cross := datagen.Counties(110, 24)
+	crossSrc := buildSource(t, "cross", cross)
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"anyinteract", Config{Mask: geom.MaskAnyInteract, SortCandidates: true}},
+		{"touch", Config{Mask: geom.MaskTouch, SortCandidates: true}},
+		{"equal", Config{Mask: geom.MaskEqual, SortCandidates: true}},
+		{"contains", Config{Mask: geom.MaskContains, SortCandidates: true}},
+		{"inside", Config{Mask: geom.MaskInside, SortCandidates: true}},
+		{"coveredby", Config{Mask: geom.MaskCoveredBy, SortCandidates: true}},
+		{"distance", Config{Distance: 12, SortCandidates: true}},
+	}
+	if raceEnabled {
+		// Under the ~10x race-detector slowdown, one dataset and the two
+		// predicate shapes suffice: the concurrency under test (tile
+		// stealing, shared cache, shared trace) is identical across the
+		// matrix. TestGridJoinRace drives the high-worker case.
+		datasets = datasets[:1]
+		configs = []struct {
+			name string
+			cfg  Config
+		}{configs[0], configs[len(configs)-1]}
+	}
+	for _, d := range datasets {
+		src := buildSource(t, d.name, d.ds)
+		for _, c := range configs {
+			for _, pair := range []struct {
+				name string
+				b    Source
+			}{{"self", src}, {"cross", crossSrc}} {
+				want := nestedPairs(t, src, pair.b, c.cfg)
+				for _, workers := range []int{1, 2, 4, 8} {
+					name := fmt.Sprintf("%s/%s/%s/w%d", d.name, c.name, pair.name, workers)
+					got := gridPairs(t, src, pair.b, c.cfg, workers)
+					if len(got) != len(want) {
+						t.Errorf("%s: grid %d pairs, nested %d", name, len(got), len(want))
+						continue
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Errorf("%s: pair %d = %v, want %v", name, i, got[i], want[i])
+							break
+						}
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i] == got[i-1] {
+							t.Errorf("%s: duplicate pair %v", name, got[i])
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridJoinRace drives many concurrent tile-stealing instances over
+// one shared grid state, geometry cache, instrument set, and trace —
+// the -race target for the grid worker pool.
+func TestGridJoinRace(t *testing.T) {
+	src := buildSource(t, "r", datagen.Stars(400, 51))
+	reg := telemetry.New()
+	cfg := DefaultConfig()
+	cfg.Instr = NewInstruments(reg)
+	cfg.Trace = telemetry.NewTracer(reg, -1, nil).Begin("grid race")
+	want := nestedPairs(t, src, src, Config{Mask: geom.MaskAnyInteract, SortCandidates: true})
+	got := gridPairs(t, src, src, cfg, 8)
+	if len(got) != len(want) {
+		t.Fatalf("grid %d pairs, nested %d", len(got), len(want))
+	}
+	if _, n := cfg.Trace.StageTotal(telemetry.StageTileSweep); n == 0 {
+		t.Errorf("no tile-sweep spans recorded on the shared trace")
+	}
+	cfg.Trace.Finish()
+}
+
+// TestGridClassesEmitEachPairOnce checks the two-layer class scheme
+// directly at the tile level: with the class filter every candidate
+// pair is produced by exactly one tile; without it, replicated
+// rectangles produce duplicates (proving the filter is load-bearing).
+func TestGridClassesEmitEachPairOnce(t *testing.T) {
+	src := buildSource(t, "c", datagen.Counties(400, 31))
+	cfg := DefaultConfig().withDefaults()
+	// Force many small tiles so rectangles straddle tile boundaries.
+	cfg.GridTiles = 256
+	gs := buildGridState(src, src, cfg, 4)
+	if gs == nil || len(gs.tiles) < 16 {
+		t.Fatalf("grid state too small: %+v", gs)
+	}
+	counts := map[Pair]int{}
+	raw := 0
+	for ti := range gs.tiles {
+		tl := &gs.tiles[ti]
+		// Count raw sweep candidates, ignoring classes.
+		for _, ea := range tl.ra {
+			for _, eb := range tl.rb {
+				m := geom.MBR{MinX: ea.xlo, MinY: ea.ylo, MaxX: ea.xhi, MaxY: ea.yhi}
+				o := geom.MBR{MinX: eb.xlo, MinY: eb.ylo, MaxX: eb.xhi, MaxY: eb.yhi}
+				if m.Intersects(o) {
+					raw++
+				}
+			}
+		}
+		gs.sweepTile(tl, func(a, b *tileEntry) {
+			counts[Pair{A: a.id, B: b.id}]++
+		})
+	}
+	if raw <= len(counts) {
+		t.Fatalf("expected raw tile candidates (%d) to exceed deduplicated pairs (%d) — no replication means the test dataset is too easy", raw, len(counts))
+	}
+	for p, n := range counts {
+		if n != 1 {
+			t.Fatalf("pair %v emitted by %d tiles, want exactly 1", p, n)
+		}
+	}
+}
+
+// TestGridJoinEmptyAndTiny covers the degenerate paths: an empty side,
+// and inputs smaller than one tile.
+func TestGridJoinEmptyAndTiny(t *testing.T) {
+	full := buildSource(t, "full", datagen.Counties(50, 41))
+	empty := buildSource(t, "empty", datagen.Dataset{Name: "empty"})
+	cfg := DefaultConfig()
+	if pairs := gridPairs(t, full, empty, cfg, 4); len(pairs) != 0 {
+		t.Errorf("join with empty side returned %d pairs", len(pairs))
+	}
+	if pairs := gridPairs(t, empty, full, cfg, 4); len(pairs) != 0 {
+		t.Errorf("join with empty first side returned %d pairs", len(pairs))
+	}
+	tiny := buildSource(t, "tiny", datagen.Counties(3, 42))
+	want := nestedPairs(t, tiny, tiny, cfg)
+	got := gridPairs(t, tiny, tiny, cfg, 8)
+	if len(got) != len(want) {
+		t.Errorf("tiny self-join: grid %d pairs, nested %d", len(got), len(want))
+	}
+}
+
+// TestSimulateGridJoinMatchesParallel checks the simulator produces the
+// same pair set as the goroutine execution and sensible schedule data.
+func TestSimulateGridJoinMatchesParallel(t *testing.T) {
+	src := buildSource(t, "s", datagen.Stars(500, 43))
+	cfg := DefaultConfig()
+	want := gridPairs(t, src, src, cfg, 4)
+	res, err := SimulateGridJoin(src, src, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]Pair(nil), res.Pairs...)
+	SortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("simulator %d pairs, parallel %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: sim %v, parallel %v", i, got[i], want[i])
+		}
+	}
+	if len(res.InstanceTimes) != 4 {
+		t.Errorf("InstanceTimes = %d entries, want 4", len(res.InstanceTimes))
+	}
+	if res.Stats.TilesSwept != len(res.TileTimes) {
+		t.Errorf("TilesSwept = %d, TileTimes = %d", res.Stats.TilesSwept, len(res.TileTimes))
+	}
+	var sum time.Duration
+	for _, d := range res.InstanceTimes {
+		if d > res.Elapsed {
+			t.Errorf("instance time %v exceeds makespan %v", d, res.Elapsed)
+		}
+		sum += d
+	}
+	max, mean := res.TileSkew()
+	if mean > max {
+		t.Errorf("tile skew mean %v > max %v", mean, max)
+	}
+}
+
+// TestGridShape sanity-checks the sizing heuristic.
+func TestGridShape(t *testing.T) {
+	cols, rows := GridShape(0, 0, 1)
+	if cols < 1 || rows < 1 {
+		t.Fatalf("empty shape %dx%d", cols, rows)
+	}
+	c4, r4 := GridShape(10000, 10000, 4)
+	c8, r8 := GridShape(10000, 10000, 8)
+	if c8*r8 < c4*r4 {
+		t.Errorf("more workers shrank the grid: %d tiles vs %d", c8*r8, c4*r4)
+	}
+	if c, r := GridShape(1<<30, 1<<30, 4); c*r > gridMaxTiles*2 {
+		t.Errorf("tile cap not applied: %d tiles", c*r)
+	}
+}

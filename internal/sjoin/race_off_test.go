@@ -1,0 +1,8 @@
+//go:build !race
+
+package sjoin
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heavyweight differential matrices shrink under -race (instrumented
+// runs are ~10x slower) while still exercising the concurrent paths.
+const raceEnabled = false

@@ -110,6 +110,23 @@ type JoinStats struct {
 	// the secondary filter (both zero when the cache is disabled).
 	CacheHits   int
 	CacheMisses int
+	// TilesSwept counts grid tiles swept by the grid-partitioned path
+	// (zero on the R-tree paths).
+	TilesSwept int
+}
+
+// add accumulates another instance's counters (simulators and parallel
+// aggregation).
+func (s *JoinStats) add(o JoinStats) {
+	s.NodePairsVisited += o.NodePairsVisited
+	s.NodeAccesses += o.NodeAccesses
+	s.Candidates += o.Candidates
+	s.Results += o.Results
+	s.GeomFetches += o.GeomFetches
+	s.FastAccepts += o.FastAccepts
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.TilesSwept += o.TilesSwept
 }
 
 // newJoinFn builds the function for the given root pairs.

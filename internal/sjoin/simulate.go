@@ -35,9 +35,7 @@ func SimulateParallelIndexJoin(a, b Source, cfg Config, workers int) (SimResult,
 	// One cache across the simulated instances, matching the shared
 	// cache of the goroutine-parallel execution.
 	cfg.GeomCache = cfg.resolveCache()
-	if workers < 1 {
-		workers = 1
-	}
+	workers = normWorkers(workers)
 	if _, err := a.geomColumn(); err != nil {
 		return SimResult{}, err
 	}
@@ -45,10 +43,7 @@ func SimulateParallelIndexJoin(a, b Source, cfg Config, workers int) (SimResult,
 		return SimResult{}, err
 	}
 	pairs := SubtreePairsForWorkers(a.Tree, b.Tree, workers, cfg)
-	parts := make([][]nodePair, workers)
-	for i, p := range pairs {
-		parts[i%workers] = append(parts[i%workers], nodePair{p.A, p.B})
-	}
+	parts := dealPairs(pairs, workers)
 	var res SimResult
 	for _, part := range parts {
 		if len(part) == 0 {
@@ -89,14 +84,7 @@ func SimulateParallelIndexJoin(a, b Source, cfg Config, workers int) (SimResult,
 			res.Elapsed = d
 		}
 		s := fn.Stats()
-		res.Stats.NodePairsVisited += s.NodePairsVisited
-		res.Stats.NodeAccesses += s.NodeAccesses
-		res.Stats.Candidates += s.Candidates
-		res.Stats.Results += s.Results
-		res.Stats.GeomFetches += s.GeomFetches
-		res.Stats.FastAccepts += s.FastAccepts
-		res.Stats.CacheHits += s.CacheHits
-		res.Stats.CacheMisses += s.CacheMisses
+		res.Stats.add(s)
 	}
 	return res, nil
 }

@@ -115,6 +115,10 @@ type Config struct {
 	// for the plane sweep to engage (0 = DefaultSweepThreshold). Below
 	// it, sorting costs more than the quadratic scan saves.
 	SweepThreshold int
+	// GridTiles, when positive, overrides the grid-partitioned path's
+	// automatic tile-count choice (GridShape) — an ablation knob for
+	// studying tile granularity. Rounded up to a square grid.
+	GridTiles int
 	// GeomCacheBytes bounds the decoded-geometry cache of the secondary
 	// filter in bytes (0 = DefaultGeomCacheBytes; negative disables the
 	// cache). Ignored when GeomCache is set.
@@ -215,6 +219,17 @@ func CollectPairs(c storage.Cursor) ([]Pair, error) {
 		}
 		out = append(out, p)
 	}
+}
+
+// PairsCursor wraps a materialised pair slice as a join-output cursor
+// (rows encoded like the table function's), for paths that compute
+// eagerly — the facade's nested-loop algorithm choice.
+func PairsCursor(pairs []Pair) storage.Cursor {
+	rows := make([]storage.Row, len(pairs))
+	for i, p := range pairs {
+		rows[i] = pairRow(p)
+	}
+	return storage.NewSliceCursor(nil, rows)
 }
 
 // SortPairs orders pairs by (A, B) for deterministic comparison.

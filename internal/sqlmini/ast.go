@@ -68,13 +68,17 @@ type FromClause struct {
 
 // SpatialJoinCall mirrors the paper's
 //
-//	TABLE(spatial_join('tab1','col1','tab2','col2','mask'[, parallel]))
+//	TABLE(spatial_join('tab1','col1','tab2','col2','mask'[,'algo=grid'][, parallel]))
 type SpatialJoinCall struct {
 	TableA, ColumnA string
 	TableB, ColumnB string
 	Mask            string
 	Distance        float64
 	Parallel        int
+	// Algo is the optional 'algo=...' hint: "auto" engages the cost
+	// model, "nested"/"subtree"/"grid" force a join path. Empty keeps
+	// the default Parallel-driven dispatch.
+	Algo string
 }
 
 // Predicate is one spatial operator in the WHERE clause:

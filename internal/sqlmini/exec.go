@@ -392,6 +392,7 @@ func (e *Engine) execJoinSelect(s Select) (*Result, error) {
 		Mask:     call.Mask,
 		Distance: call.Distance,
 		Parallel: call.Parallel,
+		Algo:     call.Algo,
 	})
 	if err != nil {
 		return nil, err

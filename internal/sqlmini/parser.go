@@ -403,7 +403,7 @@ func isKeyword(s string) bool {
 
 // spatialJoinCall parses
 //
-//	SPATIAL_JOIN('t1','c1','t2','c2','mask'|'distance=5'[, parallel])
+//	SPATIAL_JOIN('t1','c1','t2','c2','mask'|'distance=5'[,'algo=grid'][, parallel])
 func (p *parser) spatialJoinCall() (*SpatialJoinCall, error) {
 	fn, err := p.ident()
 	if err != nil {
@@ -441,8 +441,8 @@ func (p *parser) spatialJoinCall() (*SpatialJoinCall, error) {
 }
 
 func buildJoinCall(args []string, parallel int) (*SpatialJoinCall, error) {
-	if len(args) != 5 {
-		return nil, fmt.Errorf("sqlmini: spatial_join expects 5 string arguments, got %d", len(args))
+	if len(args) != 5 && len(args) != 6 {
+		return nil, fmt.Errorf("sqlmini: spatial_join expects 5 or 6 string arguments, got %d", len(args))
 	}
 	call := &SpatialJoinCall{
 		TableA: strings.ToLower(args[0]), ColumnA: strings.ToLower(args[1]),
@@ -459,6 +459,18 @@ func buildJoinCall(args []string, parallel int) (*SpatialJoinCall, error) {
 		call.Mask = "anyinteract"
 	} else {
 		call.Mask = spec
+	}
+	if len(args) == 6 {
+		hint := strings.ToLower(strings.TrimSpace(args[5]))
+		if !strings.HasPrefix(hint, "algo=") {
+			return nil, fmt.Errorf("sqlmini: sixth spatial_join argument must be an 'algo=...' hint, got %q", args[5])
+		}
+		call.Algo = strings.TrimPrefix(hint, "algo=")
+		switch call.Algo {
+		case "auto", "nested", "subtree", "grid":
+		default:
+			return nil, fmt.Errorf("sqlmini: unknown join algorithm %q (want auto, nested, subtree, or grid)", call.Algo)
+		}
 	}
 	return call, nil
 }

@@ -106,6 +106,24 @@ func TestSpatialJoinTableFunction(t *testing.T) {
 	}
 }
 
+func TestSpatialJoinAlgoHint(t *testing.T) {
+	e := setupCitiesRivers(t)
+	// Every algo hint must produce the same result set as the default.
+	for _, hint := range []string{"grid", "subtree", "nested", "auto"} {
+		r := exec(t, e, "SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','algo="+hint+"', 4))")
+		if r.Count != 3 {
+			t.Fatalf("algo=%s join count = %d, want 3", hint, r.Count)
+		}
+	}
+	// Distance spec composes with the hint.
+	r := exec(t, e, "SELECT count(*) FROM TABLE(spatial_join('cities','geom','cities','geom','distance=7','algo=grid'))")
+	if r.Count < 3 {
+		t.Fatalf("grid distance self-join count = %d", r.Count)
+	}
+	execErr(t, e, "SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','algo=bogus'))")
+	execErr(t, e, "SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','parallel=2'))")
+}
+
 func TestQuadtreeIndexViaSQL(t *testing.T) {
 	e := setupCitiesRivers(t)
 	exec(t, e, "CREATE INDEX cities_qt ON cities(geom) INDEXTYPE IS QUADTREE PARAMETERS('level=7 bounds=0,0,100,100') PARALLEL 2")
@@ -162,6 +180,23 @@ func TestParserDetails(t *testing.T) {
 	}
 	call := stmt.(Select).From.Join
 	if call.Distance != 2.5 || call.Mask != "anyinteract" {
+		t.Fatalf("join call %+v", call)
+	}
+	// spatial_join algo hint, with and without a trailing parallel degree.
+	stmt, err = Parse("SELECT count(*) FROM TABLE(spatial_join('a','g','b','g','anyinteract','ALGO=GRID', 8))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call = stmt.(Select).From.Join
+	if call.Algo != "grid" || call.Parallel != 8 || call.Mask != "anyinteract" {
+		t.Fatalf("join call %+v", call)
+	}
+	stmt, err = Parse("SELECT count(*) FROM TABLE(spatial_join('a','g','b','g','distance=1','algo=auto'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call = stmt.(Select).From.Join
+	if call.Algo != "auto" || call.Distance != 1 {
 		t.Fatalf("join call %+v", call)
 	}
 	// Unterminated string.

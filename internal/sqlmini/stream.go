@@ -116,6 +116,7 @@ func (e *Engine) streamJoinSelect(s Select) (*Stream, error) {
 		Mask:     call.Mask,
 		Distance: call.Distance,
 		Parallel: call.Parallel,
+		Algo:     call.Algo,
 	})
 	if err != nil {
 		return nil, err

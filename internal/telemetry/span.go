@@ -36,6 +36,14 @@ const (
 	// trace is attached — per-fetch clock reads are the one
 	// per-candidate cost, too hot even for the traced path.
 	StageGeomFetch
+	// StageGridPartition is the one-time build of the grid-partitioned
+	// parallel join: assigning both inputs' MBRs to tiles and
+	// classifying them into the two-layer duplicate-avoidance classes.
+	StageGridPartition
+	// StageTileSweep is one tile's plane sweep in the grid-partitioned
+	// join — the per-tile primary filter. The span count is the tile
+	// count, so the trace exposes per-tile skew directly.
+	StageTileSweep
 	// NumStages sizes per-stage arrays.
 	NumStages
 )
@@ -57,6 +65,10 @@ func (s Stage) String() string {
 		return "secondary_filter"
 	case StageGeomFetch:
 		return "geom_fetch"
+	case StageGridPartition:
+		return "grid_partition"
+	case StageTileSweep:
+		return "tile_sweep"
 	default:
 		return fmt.Sprintf("stage(%d)", uint8(s))
 	}

@@ -2,6 +2,7 @@ package spatialtf
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -25,8 +26,17 @@ type JoinOptions struct {
 	Distance float64
 	// Parallel is the number of parallel table-function instances; 0 or
 	// 1 runs the single pipelined spatial_join of §4, >1 the subtree-
-	// decomposed parallel join of §4.1.
+	// decomposed parallel join of §4.1. Paths selected through Algo
+	// treat 0 as "use every core" (runtime.GOMAXPROCS).
 	Parallel int
+	// Algo selects the join path. "" keeps the legacy Parallel-driven
+	// dispatch above; "auto" engages the cost model (cardinalities, MBR
+	// density, worker count); "nested", "subtree", and "grid" force a
+	// path — the ablation override. "grid" is the grid-partitioned
+	// parallel join: a uniform tile grid with two-layer A/B/C/D
+	// duplicate avoidance, a per-tile plane sweep, and dynamic dealing
+	// of tiles to the instances.
+	Algo string
 	// CandidateCap bounds the in-memory candidate array of the §4.2
 	// two-stage evaluation (0 = default).
 	CandidateCap int
@@ -202,16 +212,31 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 	if err != nil {
 		return nil, err
 	}
+	algo, workers, err := resolveJoinAlgo(a, b, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
 	// A per-query trace (when a tracer is attached) spans the cursor
 	// from here to Close; the join instances feed its stage aggregates.
 	trace := db.getTracer().Begin(fmt.Sprintf("spatial_join %s*%s", tableA, tableB))
 	cfg.Trace = trace
 	unpin := pinTrees(a.Tree, b.Tree)
 	var cur storage.Cursor
-	if opt.Parallel > 1 {
-		cur, err = sjoin.ParallelIndexJoin(a, b, cfg, opt.Parallel)
-	} else {
-		cur, err = sjoin.IndexJoin(a, b, cfg)
+	switch algo {
+	case sjoin.AlgoGrid:
+		cur, err = sjoin.GridParallelJoin(a, b, cfg, workers)
+	case sjoin.AlgoNested:
+		var pairs []Pair
+		pairs, err = sjoin.NestedLoop(a, b, cfg)
+		if err == nil {
+			cur = sjoin.PairsCursor(pairs)
+		}
+	default: // AlgoSubtree: the paper's serial/parallel R-tree paths
+		if workers > 1 {
+			cur, err = sjoin.ParallelIndexJoin(a, b, cfg, workers)
+		} else {
+			cur, err = sjoin.IndexJoin(a, b, cfg)
+		}
 	}
 	if err != nil {
 		unpin()
@@ -219,6 +244,33 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 		return nil, err
 	}
 	return &JoinCursor{cur: cur, unpin: unpin, trace: trace}, nil
+}
+
+// resolveJoinAlgo maps JoinOptions onto a concrete join path and worker
+// count. Algo == "" preserves the legacy dispatch (Parallel > 1 selects
+// the subtree-parallel path, else serial); "auto" runs the sjoin cost
+// model; anything else is a forced override. Paths chosen through Algo
+// resolve Parallel <= 0 to all cores.
+func resolveJoinAlgo(a, b sjoin.Source, cfg sjoin.Config, opt JoinOptions) (sjoin.Algo, int, error) {
+	if opt.Algo == "" {
+		if opt.Parallel > 1 {
+			return sjoin.AlgoSubtree, opt.Parallel, nil
+		}
+		return sjoin.AlgoSubtree, 1, nil
+	}
+	algo, err := sjoin.ParseAlgo(opt.Algo)
+	if err != nil {
+		return 0, 0, fmt.Errorf("spatialtf: %w", err)
+	}
+	if algo == sjoin.AlgoAuto {
+		pc := sjoin.ChoosePlan(a, b, cfg, opt.Parallel)
+		return pc.Algo, pc.Workers, nil
+	}
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return algo, workers, nil
 }
 
 // ExplainJoin describes how a SpatialJoin with the given options would
@@ -271,18 +323,39 @@ func (db *DB) ExplainJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 	if cfg.UseInteriorApprox {
 		sb.WriteString("  interior-approximation fast accept: enabled\n")
 	}
-	if opt.Parallel > 1 {
-		pairs := sjoin.SubtreePairsForWorkers(a.Tree, b.Tree, opt.Parallel, cfg)
-		descend := 0
-		if len(pairs) > 0 {
-			descend = a.Tree.Height() - pairs[0].A.Level()
+	algo, workers, err := resolveJoinAlgo(a, b, cfg, opt)
+	if err != nil {
+		return "", err
+	}
+	if opt.Algo != "" {
+		fmt.Fprintf(&sb, "  algorithm: %s (hint %q)\n", algo, opt.Algo)
+		if opt.Algo == "auto" {
+			pc := sjoin.ChoosePlan(a, b, cfg, opt.Parallel)
+			fmt.Fprintf(&sb, "  cost model: %s\n", pc.Reason)
 		}
-		total := len(a.Tree.SubtreeRoots(descend)) * len(b.Tree.SubtreeRoots(descend))
-		fmt.Fprintf(&sb, "  strategy: PARALLEL pipelined table function, %d instances\n", opt.Parallel)
-		fmt.Fprintf(&sb, "  subtree decomposition: descend %d level(s); %d subtree-pair tasks scheduled, %d pruned as disjoint\n",
-			descend, len(pairs), total-len(pairs))
-	} else {
-		sb.WriteString("  strategy: SERIAL pipelined table function (single root pair)\n")
+	}
+	switch algo {
+	case sjoin.AlgoGrid:
+		cols, rows := sjoin.GridShape(a.Tree.Len(), b.Tree.Len(), workers)
+		fmt.Fprintf(&sb, "  strategy: GRID-PARTITIONED parallel table function, %d instances\n", workers)
+		fmt.Fprintf(&sb, "  grid decomposition: %dx%d uniform tiles over the joint extent; per-tile plane sweep; two-layer A/B/C/D classes (no dedup pass); tiles dealt dynamically, longest first\n",
+			cols, rows)
+	case sjoin.AlgoNested:
+		sb.WriteString("  strategy: NESTED LOOP (per-row probes of operand B's index)\n")
+	default:
+		if workers > 1 {
+			pairs := sjoin.SubtreePairsForWorkers(a.Tree, b.Tree, workers, cfg)
+			descend := 0
+			if len(pairs) > 0 {
+				descend = a.Tree.Height() - pairs[0].A.Level()
+			}
+			total := len(a.Tree.SubtreeRoots(descend)) * len(b.Tree.SubtreeRoots(descend))
+			fmt.Fprintf(&sb, "  strategy: PARALLEL pipelined table function, %d instances\n", workers)
+			fmt.Fprintf(&sb, "  subtree decomposition: descend %d level(s); %d subtree-pair tasks scheduled, %d pruned as disjoint; tasks dealt longest first\n",
+				descend, len(pairs), total-len(pairs))
+		} else {
+			sb.WriteString("  strategy: SERIAL pipelined table function (single root pair)\n")
+		}
 	}
 	return sb.String(), nil
 }

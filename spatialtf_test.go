@@ -130,6 +130,93 @@ func TestFacadeSpatialJoinMatchesNestedLoop(t *testing.T) {
 	}
 }
 
+func TestFacadeJoinAlgoOverride(t *testing.T) {
+	db := Open()
+	if _, err := db.LoadDataset("c", Counties(150, 113)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("ci", "c", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.NestedLoopJoin("c", "ci", "c", "ci", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPairs := func(ps []Pair) {
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && ps[j].Less(ps[j-1]); j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+	}
+	sortPairs(want)
+	for _, opt := range []JoinOptions{
+		{Algo: "grid"},
+		{Algo: "grid", Parallel: 4},
+		{Algo: "subtree", Parallel: 4},
+		{Algo: "nested"},
+		{Algo: "auto"},
+		{Algo: "auto", Parallel: 8},
+	} {
+		cur, err := db.SpatialJoin("c", "ci", "c", "ci", opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		got, err := cur.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d pairs, want %d", opt, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: pair %d = %v, want %v", opt, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := db.SpatialJoin("c", "ci", "c", "ci", JoinOptions{Algo: "bogus"}); err == nil {
+		t.Errorf("bad algo accepted")
+	}
+}
+
+func TestExplainJoinAlgo(t *testing.T) {
+	db := Open()
+	if _, err := db.LoadDataset("stars", Stars(2000, 603)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("si", "stars", RTree, IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.ExplainJoin("stars", "si", "stars", "si", JoinOptions{Algo: "grid", Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algorithm: grid", "GRID-PARTITIONED parallel table function, 8 instances", "uniform tiles", "A/B/C/D"} {
+		if !containsStr(plan, want) {
+			t.Errorf("grid plan missing %q:\n%s", want, plan)
+		}
+	}
+	plan, err = db.ExplainJoin("stars", "si", "stars", "si", JoinOptions{Algo: "auto", Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(plan, "cost model:") {
+		t.Errorf("auto plan missing cost-model reasoning:\n%s", plan)
+	}
+	plan, err = db.ExplainJoin("stars", "si", "stars", "si", JoinOptions{Algo: "nested"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(plan, "NESTED LOOP") {
+		t.Errorf("nested plan missing strategy:\n%s", plan)
+	}
+	if _, err := db.ExplainJoin("stars", "si", "stars", "si", JoinOptions{Algo: "nope"}); err == nil {
+		t.Errorf("bad algo accepted by explain")
+	}
+}
+
 func TestFacadeJoinCursorStreams(t *testing.T) {
 	db := Open()
 	if _, err := db.LoadDataset("stars", Stars(300, 103)); err != nil {
