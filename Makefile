@@ -22,7 +22,8 @@ build:
 	$(GO) build ./...
 
 # The project's own analyzer suite (cmd/spatiallint): pin/Unpin pairing,
-# cursor Close discipline, locks across blocking calls, discarded wire
+# cursor Close discipline, locks across blocking calls (interprocedural),
+# lock-order cycle detection, atomic/plain mixed access, discarded wire
 # errors, exact float comparison, decoded-size taint tracking, goroutine
 # accounting, and release-func summaries. Zero findings required.
 # Timing budget: the CFG/summary engine must keep a full-repo run under
@@ -37,10 +38,13 @@ race:
 	$(GO) test -race ./...
 
 # Focused race lane over the concurrency-heavy surfaces — the root
-# package's reader/writer tests, the server, and the parallel join —
-# so races there fail fast before the full -race sweep runs.
+# package's reader/writer tests, the pager's checkpoint-under-load
+# churn, the grid join's atomic tile claiming, the server, and the
+# parallel join — so races there fail fast before the full -race sweep.
 race-hot:
 	$(GO) test -race -run 'TestConcurrent|TestSnapshot' .
+	$(GO) test -race -run 'TestCheckpointUnderLoad' ./internal/pager
+	$(GO) test -race -run 'TestGridJoinRace' ./internal/sjoin
 	$(GO) test -race ./internal/server ./internal/sjoin
 
 # A few seconds of coverage-guided fuzzing per target: enough to catch

@@ -1,10 +1,11 @@
 // Command spatiallint runs the project's static analyzer suite
 // (internal/analysis) over Go packages: the concurrency and cursor
 // contracts the compiler cannot check — pin pairing, cursor close
-// discipline, lock-vs-blocking hygiene, unchecked wire errors, float
-// equality on coordinates, unbounded decoded allocation sizes,
-// unjoined goroutines, and discarded release funcs. See DESIGN.md
-// §10–§11.
+// discipline, lock-vs-blocking hygiene (interprocedural), lock-order
+// deadlock detection, atomic/plain mixed field access, unchecked wire
+// errors, float equality on coordinates, unbounded decoded allocation
+// sizes, unjoined goroutines, and discarded release funcs. See
+// DESIGN.md §10–§11 and §15.
 //
 // Usage:
 //
@@ -16,6 +17,8 @@
 //	-list         print the analyzers and exit
 //	-cfg-debug f  print the control-flow graph of function f (Graphviz
 //	              dot; f is "Name" or "Type.Method") and exit
+//	-lockgraph    print the module-wide lock-order graph (Graphviz dot,
+//	              cycle edges in red) and exit
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings,
 // 2 load or usage failure.
@@ -41,6 +44,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
 		listOnly = flag.Bool("list", false, "print the analyzers and exit")
 		cfgDebug = flag.String("cfg-debug", "", "print the CFG of `func` (\"Name\" or \"Type.Method\") as Graphviz dot and exit")
+		lockDot  = flag.Bool("lockgraph", false, "print the module lock-order graph as Graphviz dot and exit")
 	)
 	flag.Parse()
 
@@ -53,6 +57,10 @@ func main() {
 
 	if *cfgDebug != "" {
 		os.Exit(dumpCFG(*chdir, *cfgDebug, flag.Args()))
+	}
+
+	if *lockDot {
+		os.Exit(dumpLockGraph(*chdir, flag.Args()))
 	}
 
 	disabled := make(map[string]bool)
@@ -141,6 +149,18 @@ func dumpCFG(chdir, name string, patterns []string) int {
 		fmt.Fprintf(os.Stderr, "spatiallint: no function %q in the loaded packages\n", name)
 		return 2
 	}
+	return 0
+}
+
+// dumpLockGraph prints the module-wide lock-order graph in Graphviz
+// dot form, with the edges of any deadlock cycle drawn in red.
+func dumpLockGraph(chdir string, patterns []string) int {
+	pkgs, _, err := analysis.Load(chdir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiallint:", err)
+		return 2
+	}
+	fmt.Print(analysis.LockGraphDot(analysis.BuildModule(pkgs)))
 	return 0
 }
 

@@ -12,7 +12,17 @@
 //	latchpair      every pinned buffer-pool frame (pager.Space.Pin or
 //	               Allocate) is Unpinned on every path or handed off
 //	lockdiscipline no sync.Mutex/RWMutex held across a channel
-//	               operation, a cursor Fetch, or a wire write
+//	               operation, a cursor Fetch, a wire write, or a call
+//	               that transitively blocks or re-acquires the same
+//	               lock (path-sensitive on the CFG, interprocedural
+//	               via module lock summaries)
+//	lockorder      lock acquisition order must be acyclic module-wide;
+//	               any cycle in the global lock-order graph is a
+//	               potential deadlock, reported with both paths
+//	atomicmix      a struct field accessed via sync/atomic must never
+//	               be plainly read or written without a dominating
+//	               lock, and typed atomics must not be aliased through
+//	               unsafe.Pointer
 //	wireerr        no discarded error results from wire write/encode
 //	               and bufio flush calls
 //	floateq        no ==/!= on floating-point values outside the
@@ -106,6 +116,8 @@ func Analyzers() []*Analyzer {
 		CursorClose,
 		LatchPair,
 		LockDiscipline,
+		LockOrder,
+		AtomicMix,
 		WireErr,
 		FloatEq,
 		TaintSize,

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix forbids mixing sync/atomic access to a struct field with
+// plain reads/writes of the same field that no dominating lock orders.
+// A plain load racing an atomic store is a data race the race detector
+// only catches when the schedule cooperates; the grid join's shared
+// tile cursor and the pool's clock hand are exactly the fields where a
+// torn or stale read silently skips work. A plain access is accepted
+// when every path to it holds some lock (must-flow), since the writer
+// side is then expected to take the same lock for its non-atomic
+// phases.
+//
+// Typed atomics (atomic.Int64 and friends) make mixed access
+// inexpressible — except through unsafe.Pointer aliasing, which this
+// rule flags unconditionally.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must not be plainly read or written without a dominating lock",
+	Run:  runAtomicMix,
+}
+
+// atomicInfo is the module-wide census of atomically-accessed struct
+// fields: ident → first atomic call site, plus the selector positions
+// that appear inside the atomic calls themselves (sanctioned — they
+// are the atomic accesses, not violations).
+type atomicInfo struct {
+	fields     map[string]token.Pos
+	fieldPkg   map[string]*Pkg
+	sanctioned map[token.Pos]bool
+}
+
+// atomicFields scans (once) every package for sync/atomic calls whose
+// address argument names a struct field.
+func (m *Module) atomicFields() *atomicInfo {
+	m.atomicOnce.Do(func() {
+		info := &atomicInfo{
+			fields:     make(map[string]token.Pos),
+			fieldPkg:   make(map[string]*Pkg),
+			sanctioned: make(map[token.Pos]bool),
+		}
+		for _, pkg := range m.pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					for _, arg := range call.Args {
+						un, ok := arg.(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						fsel, ok := un.X.(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						ident, ok := fieldIdentOf(pkg, fsel)
+						if !ok {
+							continue
+						}
+						if _, seen := info.fields[ident]; !seen {
+							info.fields[ident] = call.Pos()
+							info.fieldPkg[ident] = pkg
+						}
+						info.sanctioned[fsel.Pos()] = true
+					}
+					return true
+				})
+			}
+		}
+		m.atomics = info
+	})
+	return m.atomics
+}
+
+func runAtomicMix(pass *Pass) []Diag {
+	info := pass.Mod.atomicFields()
+	var diags []Diag
+	for _, f := range pass.Pkg.Files {
+		if len(info.fields) > 0 {
+			for _, body := range funcScopes(f) {
+				diags = append(diags, atomicMixScope(pass.Pkg, pass.Mod, info, body)...)
+			}
+		}
+		diags = append(diags, unsafeAtomicAliases(pass.Pkg, f)...)
+	}
+	return diags
+}
+
+// atomicMixScope replays the must-held lock flow over one scope and
+// flags plain accesses to atomically-managed fields that no lock
+// dominates.
+func atomicMixScope(pkg *Pkg, mod *Module, info *atomicInfo, body *ast.BlockStmt) []Diag {
+	g := mod.graphFor(body)
+	sc := newLockScanner(pkg, mod, body)
+	var diags []Diag
+	ev := &lockEvents{
+		access: func(sel *ast.SelectorExpr, write bool, before lockFact) {
+			if info.sanctioned[sel.Pos()] {
+				return
+			}
+			ident, ok := fieldIdentOf(pkg, sel)
+			if !ok {
+				return
+			}
+			atomicPos, ok := info.fields[ident]
+			if !ok {
+				return
+			}
+			if len(before) > 0 {
+				// Some lock is held on every path here; the field has a
+				// locked discipline for its plain phase.
+				return
+			}
+			kind := "read"
+			if write {
+				kind = "write"
+			}
+			diags = append(diags, diag(pkg, "atomicmix", sel.Sel.Pos(),
+				"plain %s of atomically-accessed field %s (atomic access at %s): use sync/atomic for every access, or guard both sides with one lock",
+				kind, ident, shortPos(info.fieldPkg[ident], atomicPos)))
+		},
+	}
+	sc.replay(g, true, ev)
+	return diags
+}
+
+// unsafeAtomicAliases flags unsafe.Pointer conversions whose operand
+// addresses a typed-atomic field (atomic.Int64 etc.): the only way to
+// smuggle a plain access past the typed API.
+func unsafeAtomicAliases(pkg *Pkg, f *ast.File) []Diag {
+	var diags []Diag
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[sel.Sel].(*types.TypeName)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "unsafe" || obj.Name() != "Pointer" {
+			return true
+		}
+		arg := call.Args[0]
+		// Unwrap (unsafe.Pointer)(&x.f) and unsafe.Pointer(&x.f).
+		un, ok := arg.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		fsel, ok := un.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isTypedAtomic(pkg.Info.TypeOf(fsel)) {
+			return true
+		}
+		ident, ok := fieldIdentOf(pkg, fsel)
+		if !ok {
+			ident = exprString(fsel)
+		}
+		diags = append(diags, diag(pkg, "atomicmix", call.Pos(),
+			"unsafe aliasing of atomic field %s: the typed atomic API exists so no plain access is possible — do not cast around it",
+			ident))
+		return true
+	})
+	return diags
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed value
+// types (atomic.Int64, atomic.Uint32, atomic.Bool, atomic.Pointer[T],
+// atomic.Value, …).
+func isTypedAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isTypedAtomic(types.Unalias(alias))
+		}
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

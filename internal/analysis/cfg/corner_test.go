@@ -1,0 +1,178 @@
+package cfg
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// Corner cases the concurrency rules lean on: a select with a default
+// inside a loop, a goto that lands inside a loop body, and deferred
+// calls that acquire locks. Each asserts the block edges and, where a
+// rule depends on it, the Walk facts directly.
+
+func TestSelectDefaultInsideForLoops(t *testing.T) {
+	g, fset := buildFunc(t, `
+		for i := 0; i < 10; i++ {
+			select {
+			case <-in:
+				got()
+			default:
+				idle()
+			}
+			tail()
+		}
+		end()
+	`)
+	gotBlk := liveBlockWith(g, fset, "got()")
+	idleBlk := liveBlockWith(g, fset, "idle()")
+	tailBlk := liveBlockWith(g, fset, "tail()")
+	postBlk := liveBlockWith(g, fset, "i++")
+	endBlk := liveBlockWith(g, fset, "end()")
+	if gotBlk == nil || idleBlk == nil || tailBlk == nil || postBlk == nil || endBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	// Both clauses rejoin before the loop tail, and the tail loops back
+	// around through the post statement to the select again.
+	if !reaches(gotBlk, tailBlk) || !reaches(idleBlk, tailBlk) {
+		t.Error("select clauses do not rejoin at the loop tail")
+	}
+	if !reaches(tailBlk, postBlk) || !reaches(postBlk, idleBlk) {
+		t.Error("loop tail does not iterate back into the select")
+	}
+	if !reaches(idleBlk, endBlk) {
+		t.Error("loop cannot terminate past the select")
+	}
+}
+
+func TestGotoIntoLoopBody(t *testing.T) {
+	// The compiler rejects a goto that jumps into a block, but the
+	// builder runs on anything the parser accepts and must still wire
+	// the edge instead of dropping it (dataflow soundness beats
+	// validity checking, which belongs to the type checker).
+	g, fset := buildFunc(t, `
+		i := 0
+		goto inner
+		for ; i < 3; i++ {
+		inner:
+			body()
+		}
+		end()
+	`)
+	gotoBlk := liveBlockWith(g, fset, "i := 0")
+	bodyBlk := liveBlockWith(g, fset, "body()")
+	postBlk := liveBlockWith(g, fset, "i++")
+	endBlk := liveBlockWith(g, fset, "end()")
+	if gotoBlk == nil || bodyBlk == nil || postBlk == nil || endBlk == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(gotoBlk, bodyBlk) {
+		t.Error("goto does not reach the label inside the loop body")
+	}
+	// Once inside, the body iterates via the post statement and can
+	// leave through the loop condition.
+	if !reaches(bodyBlk, postBlk) || !reaches(postBlk, bodyBlk) {
+		t.Error("loop body entered by goto does not iterate")
+	}
+	if !reaches(bodyBlk, endBlk) {
+		t.Error("loop entered by goto cannot terminate")
+	}
+}
+
+// TestDeferredLockAcquire runs a lock-set dataflow over a function whose
+// defers acquire and release locks: the deferred statements must sit in
+// the blocks where they are registered (not hoisted to the entry), be
+// collected in g.Defers, and not perturb the straight-line facts — a
+// defer's body runs at return, so Walk must see the lock still held at
+// the statements after `defer mu.Unlock()`.
+func TestDeferredLockAcquire(t *testing.T) {
+	g, fset := buildFunc(t, `
+		mu.Lock()
+		defer mu.Unlock()
+		if cond() {
+			defer aux.Lock()
+		}
+		work()
+	`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if d := liveBlockWith(g, fset, "defer aux.Lock()"); d == nil || d == g.Entry {
+		t.Error("conditional deferred lock acquisition not in its branch block")
+	}
+
+	// Lock-set flow: an executed x.Lock() adds x, an executed
+	// x.Unlock() removes it, and a DeferStmt contributes nothing at
+	// registration time.
+	type fact = map[string]bool
+	fl := Flow[fact]{
+		Entry: fact{},
+		Join: func(a, b fact) fact {
+			for k := range b {
+				a[k] = true
+			}
+			return a
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(f fact) fact {
+			c := make(fact, len(f))
+			for k := range f {
+				c[k] = true
+			}
+			return c
+		},
+		Transfer: func(n Node, f fact) fact {
+			if _, ok := n.N.(*ast.DeferStmt); ok {
+				return f
+			}
+			es, ok := n.N.(*ast.ExprStmt)
+			if !ok {
+				return f
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return f
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return f
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return f
+			}
+			switch sel.Sel.Name {
+			case "Lock":
+				f[recv.Name] = true
+			case "Unlock":
+				delete(f, recv.Name)
+			}
+			return f
+		},
+	}
+	in := Solve(g, fl)
+	var workBefore fact
+	Walk(g, fl, in, func(n Node, before fact) {
+		if es, ok := n.N.(*ast.ExprStmt); ok && nodeText(es, fset) == "work()" {
+			workBefore = before
+		}
+	})
+	if workBefore == nil {
+		t.Fatal("Walk never visited work()")
+	}
+	if !workBefore["mu"] {
+		t.Errorf("mu not held at work(): deferred Unlock was applied at registration (fact %v)", workBefore)
+	}
+	if workBefore["aux"] {
+		t.Errorf("aux held at work(): deferred Lock was applied at registration (fact %v)", workBefore)
+	}
+}

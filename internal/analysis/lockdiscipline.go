@@ -9,20 +9,23 @@ import (
 
 // LockDiscipline forbids holding a sync.Mutex/RWMutex across an
 // operation that can block indefinitely on a peer: a channel send or
-// receive, a select without a default clause, a cursor Fetch (a network
-// round trip on the wire client), or a wire write/flush. A goroutine
-// parked on a channel while holding a mutex is the deadlock shape the
-// PR 2 review caught in the geometry cache; on the server it also turns
-// one slow client into a global stall.
+// receive, a select without a default clause, a cursor Fetch through an
+// interface or the wire client (a network round trip), or a wire
+// write/flush. A goroutine parked on a channel while holding a mutex is
+// the deadlock shape the PR 2 review caught in the geometry cache; on
+// the server it also turns one slow client into a global stall.
 //
-// The walk is linear in syntactic order per function: Lock/RLock mark
-// the receiver held, Unlock/RUnlock release it, defer Unlock keeps it
-// held to the end of the function. Function literals are separate
-// scopes (a spawned goroutine does not inherit the parent's lock
-// state).
+// The rule is path-sensitive (it runs on the CFG, so a lock released on
+// one branch is not "held" on the other) and interprocedural: via the
+// module lock summaries, a mutex held across a call into a function
+// that transitively blocks — or that re-acquires the very lock already
+// held — is flagged too. Function literals are separate scopes with
+// fresh lock state, whether they are spawned by `go`, deferred, or
+// handed to tablefunc.Parallel as factory callbacks: the goroutine that
+// eventually runs them does not inherit the spawner's locks.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "no sync.Mutex/RWMutex may be held across a channel operation, Fetch, or wire write",
+	Doc:  "no sync.Mutex/RWMutex may be held across a blocking operation or a re-acquisition of itself",
 	Run:  runLockDiscipline,
 }
 
@@ -41,175 +44,80 @@ func syncLockMethod(pkg *Pkg, sel *ast.SelectorExpr) (recvKey, method string, ok
 }
 
 func runLockDiscipline(pass *Pass) []Diag {
-	pkg := pass.Pkg
 	var diags []Diag
-	for _, f := range pkg.Files {
+	for _, f := range pass.Pkg.Files {
 		for _, body := range funcScopes(f) {
-			w := &lockWalker{pkg: pkg, held: make(map[string]token.Pos)}
-			w.walkStmts(body.List)
-			diags = append(diags, w.diags...)
+			diags = append(diags, lockDisciplineScope(pass.Pkg, pass.Mod, body)...)
 		}
 	}
 	return diags
 }
 
-type lockWalker struct {
-	pkg   *Pkg
-	held  map[string]token.Pos // receiver key -> Lock position
-	diags []Diag
-}
-
-func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
-	for _, s := range stmts {
-		w.walkStmt(s)
-	}
-}
-
-func (w *lockWalker) walkStmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.DeferStmt:
-		// defer mu.Unlock() keeps the lock held for the remainder of the
-		// function; a deferred closure's body runs with whatever is held
-		// at return, so scan it for unlocks the same way.
-		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
-			if _, method, ok := syncLockMethod(w.pkg, sel); ok && strings.HasSuffix(method, "Unlock") {
-				return // still held; no release event
+// lockDisciplineScope solves the may-held flow over one function scope
+// and reports blocking operations and same-lock re-acquisitions under
+// held locks.
+func lockDisciplineScope(pkg *Pkg, mod *Module, body *ast.BlockStmt) []Diag {
+	g := mod.graphFor(body)
+	sc := newLockScanner(pkg, mod, body)
+	var diags []Diag
+	ev := &lockEvents{
+		blocking: func(pos token.Pos, what, via string, before lockFact) {
+			msg := what
+			if via != "" {
+				msg = "call into " + via + " (can block: " + what + ")"
 			}
-		}
-		w.scanExpr(s.Call)
-	case *ast.SendStmt:
-		w.scanExpr(s.Chan)
-		w.scanExpr(s.Value)
-		w.report(s.Arrow, "channel send")
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-				hasDefault = true
+			for _, k := range sortedFactKeys(before) {
+				h := before[k]
+				// Only locks acquired in this scope gate blocking ops:
+				// pin-style locks leaked by callees are held across
+				// fetches by design (that is what a pin is for).
+				if !h.direct() {
+					continue
+				}
+				diags = append(diags, diag(pkg, "lockdiscipline", pos,
+					"%s while %s is held (locked at line %d): release the lock before blocking, or hand the work to an unlocked region",
+					msg, h.display, pkg.Fset.Position(h.pos).Line))
 			}
-		}
-		if !hasDefault {
-			w.report(s.Pos(), "select without default")
-		}
-		w.walkStmt(s.Body)
-	case *ast.BlockStmt:
-		w.walkStmts(s.List)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.scanExpr(s.Cond)
-		w.walkStmt(s.Body)
-		if s.Else != nil {
-			w.walkStmt(s.Else)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.scanExpr(s.Cond)
-		w.walkStmt(s.Body)
-		if s.Post != nil {
-			w.walkStmt(s.Post)
-		}
-	case *ast.RangeStmt:
-		w.scanExpr(s.X)
-		w.walkStmt(s.Body)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.scanExpr(s.Tag)
-		w.walkStmt(s.Body)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init)
-		}
-		w.walkStmt(s.Body)
-	case *ast.CaseClause:
-		w.walkStmts(s.Body)
-	case *ast.CommClause:
-		w.walkStmts(s.Body)
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt)
-	case *ast.GoStmt:
-		// The spawned goroutine runs with its own (empty) lock state;
-		// funcScopes analyzes its body separately. Arguments are
-		// evaluated here, though.
-		for _, arg := range s.Call.Args {
-			w.scanExpr(arg)
-		}
-	default:
-		scanStmtExprs(s, w.scanExpr)
-	}
-}
-
-// scanStmtExprs feeds every expression of a simple statement to scan.
-func scanStmtExprs(s ast.Stmt, scan func(ast.Expr)) {
-	ast.Inspect(s, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if e, ok := n.(ast.Expr); ok {
-			scan(e)
-			return false // scanExpr descends itself
-		}
-		return true
-	})
-}
-
-// scanExpr processes one expression tree in syntactic order: lock state
-// transitions and blocking-operation reports.
-func (w *lockWalker) scanExpr(e ast.Expr) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				w.report(n.Pos(), "channel receive")
-			}
-		case *ast.CallExpr:
-			w.handleCall(n)
-		}
-		return true
-	})
-}
-
-func (w *lockWalker) handleCall(call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		// In-package calls name wire functions by bare identifier.
-		if id, ok := call.Fun.(*ast.Ident); ok {
-			if fn, ok := w.pkg.Info.Uses[id].(*types.Func); ok {
-				if kind, ok := blockingFunc(fn); ok {
-					w.report(call.Pos(), kind)
+		},
+		acquire: func(pos token.Pos, id lockIdent, display string, write bool, via string, before lockFact) {
+			for _, k := range sortedFactKeys(before) {
+				h := before[k]
+				if h.id != id {
+					continue
+				}
+				// Read-locking the same instance again while read-held
+				// is left to taste; everything else — write anywhere,
+				// or a second instance of the same lock class whose
+				// order nothing fixes — can deadlock.
+				if !write && !h.write && h.display == display {
+					continue
+				}
+				lockName := display
+				if id.global {
+					lockName = id.name
+				}
+				if via == "" {
+					diags = append(diags, diag(pkg, "lockdiscipline", pos,
+						"%s acquired while %s is already held (locked at line %d): re-acquisition can deadlock",
+						lockName, lockHeldPhrase(h), pkg.Fset.Position(h.pos).Line))
+				} else {
+					diags = append(diags, diag(pkg, "lockdiscipline", pos,
+						"call into %s acquires %s while %s is already held (locked at line %d): re-acquisition can deadlock",
+						via, lockName, lockHeldPhrase(h), pkg.Fset.Position(h.pos).Line))
 				}
 			}
-		}
-		return
+		},
 	}
-	if recvKey, method, ok := syncLockMethod(w.pkg, sel); ok {
-		switch method {
-		case "Lock", "RLock":
-			w.held[recvKey] = call.Pos()
-		case "Unlock", "RUnlock":
-			delete(w.held, recvKey)
-		}
-		return
-	}
-	if kind, ok := blockingCall(w.pkg, call, sel); ok {
-		w.report(call.Pos(), kind)
-	}
+	sc.replay(g, false, ev)
+	return diags
 }
 
-// blockingCall classifies calls that can block on a peer: any method
-// named Fetch (the wire cursor's network round trip), wire.Write* /
-// wire handshake functions, and bufio.Writer Flush/Write (socket
-// writes under the wire protocol).
+// blockingCall classifies calls that can block on a peer: a Fetch
+// dispatched through an interface (the table-function contract) or the
+// wire client's cursor (a network round trip), wire.Write*/handshake
+// functions, and bufio.Writer Flush/Write (socket writes under the
+// wire protocol). A concrete in-memory Fetch is not blocking: it is a
+// local batch copy.
 func blockingCall(pkg *Pkg, call *ast.CallExpr, sel *ast.SelectorExpr) (string, bool) {
 	recv, fn := selectorObj(pkg.Info, sel)
 	if fn == nil {
@@ -217,7 +125,10 @@ func blockingCall(pkg *Pkg, call *ast.CallExpr, sel *ast.SelectorExpr) (string, 
 	}
 	name := fn.Name()
 	if name == "Fetch" && fn.Signature().Recv() != nil {
-		return "cursor Fetch (network round trip)", true
+		_, iface := fn.Signature().Recv().Type().Underlying().(*types.Interface)
+		if iface || fromPkg(fn, "internal/wire") || fromPkg(fn, "wire") {
+			return "cursor Fetch (network round trip)", true
+		}
 	}
 	if kind, ok := blockingFunc(fn); ok {
 		return kind, true
@@ -255,12 +166,4 @@ func isBufioWriter(info *types.Info, e ast.Expr) bool {
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Pkg() != nil &&
 		named.Obj().Pkg().Path() == "bufio" && named.Obj().Name() == "Writer"
-}
-
-func (w *lockWalker) report(pos token.Pos, what string) {
-	for recvKey, lockPos := range w.held {
-		w.diags = append(w.diags, diag(w.pkg, "lockdiscipline", pos,
-			"%s while %s is held (locked at line %d): release the lock before blocking, or hand the work to an unlocked region",
-			what, recvKey, w.pkg.Fset.Position(lockPos).Line))
-	}
 }

@@ -1,0 +1,368 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder folds every function's acquisition behaviour into one
+// module-wide lock-order graph — an edge a→b means some execution path
+// acquires b while holding a — and reports each cycle as a potential
+// deadlock with the acquisition sites on both sides. Two goroutines
+// walking a cycle from opposite ends block forever; the classic shape
+// is pool→WAL in one function and WAL→pool in another.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order must be acyclic across the module",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one observed ordering: `to` acquired at Pos (in Pkg,
+// inside Fn) while `from` was held, the holder having locked at
+// HeldPos. Via names the callee chain when the acquisition is
+// transitive.
+type lockEdge struct {
+	from, to string
+	pkg      *Pkg
+	fn       string
+	pos      token.Pos
+	heldPos  token.Pos
+	via      string
+}
+
+// lockGraph is the module-wide order graph keyed on global lock
+// identities. Only the first edge observed for each (from,to) pair is
+// kept; iteration everywhere is sorted, so reports are deterministic.
+type lockGraph struct {
+	edges map[string]map[string]*lockEdge
+}
+
+func (g *lockGraph) add(e *lockEdge) {
+	if g.edges == nil {
+		g.edges = make(map[string]map[string]*lockEdge)
+	}
+	m := g.edges[e.from]
+	if m == nil {
+		m = make(map[string]*lockEdge)
+		g.edges[e.from] = m
+	}
+	if _, ok := m[e.to]; !ok {
+		m[e.to] = e
+	}
+}
+
+// lockCycle is one elementary cycle through the order graph; edges[i]
+// goes from nodes[i] to nodes[(i+1)%len].
+type lockCycle struct {
+	nodes []string
+	edges []*lockEdge
+}
+
+// lockOrderGraph builds (once) the global order graph and its cycles.
+func (m *Module) lockOrderGraph() (*lockGraph, []lockCycle) {
+	m.lockOnce.Do(func() {
+		g := &lockGraph{}
+		for _, pkg := range m.pkgs {
+			for _, f := range pkg.Files {
+				for _, body := range funcScopes(f) {
+					fn := scopeName(pkg, body)
+					sc := newLockScanner(pkg, m, body)
+					ev := &lockEvents{
+						acquire: func(pos token.Pos, id lockIdent, _ string, _ bool, via string, before lockFact) {
+							if !id.global {
+								return
+							}
+							for _, k := range sortedFactKeys(before) {
+								h := before[k]
+								if !h.id.global || h.id.name == id.name {
+									continue
+								}
+								g.add(&lockEdge{
+									from: h.id.name, to: id.name,
+									pkg: pkg, fn: fn, pos: pos, heldPos: h.pos, via: via,
+								})
+							}
+						},
+					}
+					sc.replay(m.graphFor(body), false, ev)
+				}
+			}
+		}
+		m.lockG = g
+		m.cycles = g.findCycles()
+	})
+	return m.lockG, m.cycles
+}
+
+// findCycles returns one shortest elementary cycle per strongly
+// connected component with an internal cycle. One representative per
+// SCC keeps a tangled component from producing a report storm; fixing
+// the reported cycle and re-running surfaces the next one.
+func (g *lockGraph) findCycles() []lockCycle {
+	var nodes []string
+	seen := make(map[string]bool)
+	for from, m := range g.edges {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range m {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	sccs := tarjanSCC(nodes, g.edges)
+	var cycles []lockCycle
+	for _, scc := range sccs {
+		in := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			in[n] = true
+		}
+		self := len(scc) == 1 && g.edges[scc[0]][scc[0]] != nil
+		if len(scc) < 2 && !self {
+			continue
+		}
+		if c, ok := g.shortestCycle(scc[0], in); ok {
+			cycles = append(cycles, c)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return strings.Join(cycles[i].nodes, "→") < strings.Join(cycles[j].nodes, "→")
+	})
+	return cycles
+}
+
+// shortestCycle BFSes inside one SCC from its smallest node back to
+// itself and reconstructs the edge path.
+func (g *lockGraph) shortestCycle(start string, in map[string]bool) (lockCycle, bool) {
+	type hop struct {
+		node string
+		prev int
+		edge *lockEdge
+	}
+	hops := []hop{{node: start, prev: -1}}
+	visited := map[string]bool{}
+	for i := 0; i < len(hops); i++ {
+		cur := hops[i]
+		next := g.edges[cur.node]
+		for _, to := range sortedKeys(next) {
+			if !in[to] {
+				continue
+			}
+			if to == start {
+				// Rebuild the path start → … → cur, then close it.
+				var ns []string
+				var edges []*lockEdge
+				for j := i; j >= 0; j = hops[j].prev {
+					ns = append(ns, hops[j].node)
+					if hops[j].edge != nil {
+						edges = append(edges, hops[j].edge)
+					}
+				}
+				reverseStrings(ns)
+				reverseEdges(edges)
+				edges = append(edges, next[to])
+				return lockCycle{nodes: ns, edges: edges}, true
+			}
+			if !visited[to] {
+				visited[to] = true
+				hops = append(hops, hop{node: to, prev: i, edge: next[to]})
+			}
+		}
+	}
+	return lockCycle{}, false
+}
+
+func reverseStrings(s []string) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseEdges(s []*lockEdge) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func runLockOrder(pass *Pass) []Diag {
+	_, cycles := pass.Mod.lockOrderGraph()
+	var diags []Diag
+	for _, c := range cycles {
+		// Report the cycle once, in the package owning its first edge.
+		e := c.edges[0]
+		if e.pkg != pass.Pkg {
+			continue
+		}
+		var path strings.Builder
+		for _, n := range c.nodes {
+			path.WriteString(n)
+			path.WriteString(" → ")
+		}
+		path.WriteString(c.nodes[0])
+		var sides []string
+		for _, ce := range c.edges {
+			side := fmt.Sprintf("%s acquired at %s (in %s) while %s is held (locked at line %d)",
+				ce.to, shortPos(ce.pkg, ce.pos), ce.fn, ce.from, ce.pkg.Fset.Position(ce.heldPos).Line)
+			if ce.via != "" {
+				side += " via " + ce.via
+			}
+			sides = append(sides, side)
+		}
+		diags = append(diags, diag(pass.Pkg, "lockorder", e.pos,
+			"potential deadlock: lock order cycle %s: %s", path.String(), strings.Join(sides, "; ")))
+	}
+	return diags
+}
+
+// LockGraphDot renders the module lock-order graph in Graphviz dot
+// form for `spatiallint -lockgraph`. Edges in a cycle are drawn red.
+func LockGraphDot(mod *Module) string {
+	g, cycles := mod.lockOrderGraph()
+	hot := make(map[string]bool)
+	for _, c := range cycles {
+		for _, e := range c.edges {
+			hot[e.from+"\x00"+e.to] = true
+		}
+	}
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, from := range sortedKeys(g.edges) {
+		for _, to := range sortedKeys(g.edges[from]) {
+			e := g.edges[from][to]
+			label := shortPos(e.pkg, e.pos)
+			if e.via != "" {
+				label += "\\nvia " + e.via
+			}
+			attr := fmt.Sprintf("label=%q", label)
+			if hot[from+"\x00"+to] {
+				attr += ", color=red, penwidth=2"
+			}
+			fmt.Fprintf(&b, "  %q -> %q [%s];\n", from, to, attr)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// tarjanSCC computes strongly connected components (iterative Tarjan)
+// over the given node set; components come back in a deterministic
+// order because nodes is sorted.
+func tarjanSCC(nodes []string, edges map[string]map[string]*lockEdge) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		var call []frame
+		push := func(n string) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack[n] = true
+			var succs []string
+			for _, to := range sortedKeys(edges[n]) {
+				succs = append(succs, to)
+			}
+			call = append(call, frame{node: n, succs: succs})
+		}
+		push(root)
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, ok := index[w]; !ok {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// f is done: pop, fold lowlink into caller, maybe emit SCC.
+			n := f.node
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[n] < low[p.node] {
+					low[p.node] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == n {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// scopeName names a function scope for reports: the enclosing FuncDecl
+// name, or "func literal in <decl>" for a FuncLit body.
+func scopeName(pkg *Pkg, body *ast.BlockStmt) string {
+	for _, f := range pkg.Files {
+		var name string
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body == body {
+					name = d.Name.Name
+					found = true
+					return false
+				}
+				if d.Body != nil && d.Pos() <= body.Pos() && body.End() <= d.End() {
+					name = "func literal in " + d.Name.Name
+				}
+			case *ast.FuncLit:
+				if d.Body == body {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			if name == "" {
+				name = "func literal"
+			}
+			return name
+		}
+	}
+	return "?"
+}

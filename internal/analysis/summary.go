@@ -4,6 +4,9 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+	"sync"
+
+	"spatialtf/internal/analysis/cfg"
 )
 
 // Function summaries: the facts the interprocedural rules carry across
@@ -43,12 +46,40 @@ type FuncSummary struct {
 	// operation, or a select — directly or via a module callee. goleak
 	// accepts `go f()` when f is accounted.
 	Accounted bool
+
+	// The lock summary (see locksummary.go): which globally-named
+	// locks this function acquires directly (LockAcquires) or through
+	// callees (TransAcquires), which it releases without acquiring
+	// (LockReleases — the Unpin side of a pin pair), which it leaves
+	// held at a return (LockLeaked — the Pin side), and whether it can
+	// block indefinitely on a peer (Blocking).
+	LockAcquires  map[string]LockUse
+	TransAcquires map[string]TransAcq
+	LockReleases  map[string]bool
+	LockLeaked    map[string]LeakInfo
+	Blocking      *BlockInfo
 }
 
-// Module is the cross-package summary table.
+// Module is the cross-package summary table, plus the caches the
+// concurrency rules share: per-scope CFGs, the method-shape index for
+// interface-call resolution, the lock-order graph, and the module's
+// atomically-accessed fields.
 type Module struct {
 	fns  map[string]*FuncSummary
 	pkgs []*Pkg
+
+	graphMu sync.Mutex
+	graphs  map[*ast.BlockStmt]*cfg.Graph
+
+	idxOnce sync.Once
+	mIndex  map[string][]*FuncSummary
+
+	lockOnce sync.Once
+	lockG    *lockGraph
+	cycles   []lockCycle
+
+	atomicOnce sync.Once
+	atomics    *atomicInfo
 }
 
 // FuncKey canonicalises fn across type-check universes.
@@ -113,9 +144,11 @@ func BuildModule(pkgs []*Pkg) *Module {
 			}
 		}
 	}
+	keys := sortedKeys(m.fns)
 	for range 8 {
 		changed := false
-		for _, s := range m.fns {
+		for _, key := range keys {
+			s := m.fns[key]
 			if updateAccounted(s, m) {
 				changed = true
 			}
@@ -123,6 +156,9 @@ func BuildModule(pkgs []*Pkg) *Module {
 				changed = true
 			}
 			if updateTaintSummary(s, m) {
+				changed = true
+			}
+			if updateLockFacts(s, m) {
 				changed = true
 			}
 		}

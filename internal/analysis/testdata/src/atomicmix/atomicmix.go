@@ -1,0 +1,80 @@
+// Package atomicmix is the golden-file fixture for the atomicmix
+// analyzer: a field accessed via sync/atomic must never be plainly read
+// or written without a dominating lock, and typed atomics must not be
+// aliased through unsafe.Pointer.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+	m  int64
+}
+
+// bump is the atomic side: it puts counter.n in the atomic census.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) plainRead() int64 {
+	return c.n // want `plain read of atomically-accessed field atomicmix\.counter\.n`
+}
+
+func (c *counter) plainWrite() {
+	c.n = 0 // want `plain write of atomically-accessed field atomicmix\.counter\.n`
+}
+
+// halfGuarded holds the lock on only one path to the read, so no lock
+// dominates it.
+func (c *counter) halfGuarded(cond bool) int64 {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want `plain read of atomically-accessed field atomicmix\.counter\.n`
+}
+
+// --- negatives ---
+
+// guarded reads under the mutex on every path: the field has a locked
+// plain phase and an atomic fast path, which is a legal discipline.
+func (c *counter) guarded() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// atomicLoad is the sanctioned access: the read happens inside the
+// atomic call itself.
+func (c *counter) atomicLoad() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// untouchedField: m is never accessed atomically, so plain access is
+// fine.
+func (c *counter) untouchedField() int64 {
+	return c.m
+}
+
+// --- typed atomics ---
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// typedUse is fine: the typed API is the only access path.
+func (g *gauge) typedUse(x int64) int64 {
+	g.v.Store(x)
+	return g.v.Load()
+}
+
+// sneak casts around the typed API — the one way to get a plain access
+// to a typed atomic's cell.
+func (g *gauge) sneak() int64 {
+	return *(*int64)(unsafe.Pointer(&g.v)) // want `unsafe aliasing of atomic field atomicmix\.gauge\.v`
+}

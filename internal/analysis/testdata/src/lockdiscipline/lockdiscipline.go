@@ -7,6 +7,8 @@ import (
 	"bufio"
 	"sync"
 
+	"spatialtf/internal/storage"
+	"spatialtf/internal/tablefunc"
 	"spatialtf/internal/wire"
 )
 
@@ -72,4 +74,50 @@ func goroutineHasOwnLockState(mu *sync.Mutex, ch chan int) {
 	go func() {
 		ch <- 1
 	}()
+}
+
+// --- interprocedural: blocking and re-acquisition hide in callees ---
+
+func blocksOnChannel(ch chan int) {
+	ch <- 1
+}
+
+func callBlockingWhileLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	blocksOnChannel(ch) // want `call into blocksOnChannel \(can block: channel send\) while mu is held`
+}
+
+type guarded struct {
+	mu sync.Mutex
+}
+
+func (g *guarded) lockIt() {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+func (g *guarded) reenter() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lockIt() // want `call into lockIt acquires lockdiscipline\.guarded\.mu while g\.mu is already held`
+}
+
+// --- closures that run on other goroutines get fresh lock state ---
+
+func deferredClosureHasOwnLockState(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	defer func() {
+		ch <- 1
+	}()
+}
+
+func parallelFactoryHasOwnLockState(mu *sync.Mutex, ch chan int, parts []storage.Cursor) storage.Cursor {
+	mu.Lock()
+	defer mu.Unlock()
+	return tablefunc.Parallel(parts, func(int, storage.Cursor) (tablefunc.TableFunction, error) {
+		ch <- 1
+		return nil, nil
+	}, 4)
 }

@@ -1,0 +1,120 @@
+// Package lockorder is the golden-file fixture for the lockorder
+// analyzer: lock acquisition order must be acyclic across the module.
+package lockorder
+
+import "sync"
+
+// --- direct two-lock cycle ---
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+// lockAB holds a while taking b; with lockBA below that closes the
+// cycle a → b → a. The report lands on this side because the cycle is
+// rendered starting from its smallest lock identity.
+func (p *pair) lockAB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `potential deadlock: lock order cycle lockorder\.pair\.a → lockorder\.pair\.b → lockorder\.pair\.a`
+	p.b.Unlock()
+}
+
+// lockBA holds b while taking a — the other half of the cycle.
+func (p *pair) lockBA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// --- interprocedural cycle: the acquisitions hide in callees ---
+
+type inter struct {
+	c, d sync.Mutex
+}
+
+func (i *inter) lockD() {
+	i.d.Lock()
+	i.d.Unlock()
+}
+
+func (i *inter) lockC() {
+	i.c.Lock()
+	i.c.Unlock()
+}
+
+// lockCD holds c across a call whose summary says it acquires d.
+func (i *inter) lockCD() {
+	i.c.Lock()
+	defer i.c.Unlock()
+	i.lockD() // want `potential deadlock: lock order cycle lockorder\.inter\.c → lockorder\.inter\.d → lockorder\.inter\.c`
+}
+
+// lockDC holds d across a call that acquires c.
+func (i *inter) lockDC() {
+	i.d.Lock()
+	defer i.d.Unlock()
+	i.lockC()
+}
+
+// --- negatives ---
+
+// ordered: every function takes x before y, so the order graph has the
+// single edge x → y and no cycle.
+type ordered struct {
+	x, y sync.Mutex
+}
+
+func (o *ordered) first() {
+	o.x.Lock()
+	defer o.x.Unlock()
+	o.y.Lock()
+	o.y.Unlock()
+}
+
+func (o *ordered) second() {
+	o.x.Lock()
+	o.y.Lock()
+	o.y.Unlock()
+	o.x.Unlock()
+}
+
+// localLocks: function-local mutexes have no global identity; opposite
+// orders here say nothing about cross-goroutine interleavings of the
+// same instances.
+func localLocks() {
+	var m1, m2 sync.Mutex
+	m1.Lock()
+	m2.Lock()
+	m2.Unlock()
+	m1.Unlock()
+}
+
+func localLocksReversed() {
+	var m1, m2 sync.Mutex
+	m2.Lock()
+	m1.Lock()
+	m1.Unlock()
+	m2.Unlock()
+}
+
+// releasedBetween: y is taken after x is released, so no x → y edge
+// exists and the y-before-x order elsewhere cannot form a cycle.
+type released struct {
+	x, y sync.Mutex
+}
+
+func (r *released) xThenYReleased() {
+	r.x.Lock()
+	r.x.Unlock()
+	r.y.Lock()
+	r.y.Unlock()
+}
+
+func (r *released) yHoldingX() {
+	r.y.Lock()
+	defer r.y.Unlock()
+	r.x.Lock()
+	r.x.Unlock()
+}

@@ -143,6 +143,7 @@ func pinTrees(a, b *rtree.Tree) func() {
 		a, b = b, a
 	}
 	a.Pin()
+	//spatiallint:ignore lockdiscipline both pins are read locks on distinct trees taken in Seq() creation order, so no two holders can invert the order and deadlock against a queued writer
 	b.Pin()
 	return func() {
 		b.Unpin()
