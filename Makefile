@@ -25,11 +25,24 @@ build:
 # cursor Close discipline, locks across blocking calls (interprocedural),
 # lock-order cycle detection, atomic/plain mixed access, discarded wire
 # errors, exact float comparison, decoded-size taint tracking, goroutine
-# accounting, and release-func summaries. Zero findings required.
-# Timing budget: the CFG/summary engine must keep a full-repo run under
-# ~10s; it currently completes in well under 1s (warm build cache).
+# accounting, release-func summaries, and hot-path allocation findings.
+# Zero findings required.
+# Timing budget, enforced: the CFG/summary/escape engine must keep a
+# warm full-repo run under 10s. The binary is built first so the budget
+# times the analysis, not the compiler.
+LINT_BUDGET_SECS ?= 10
 lint:
-	$(GO) run ./cmd/spatiallint ./...
+	@$(GO) build -o /tmp/spatiallint.$$$$ ./cmd/spatiallint; \
+	bin=/tmp/spatiallint.$$$$; \
+	start=$$(date +%s); \
+	$$bin ./... ; status=$$?; \
+	end=$$(date +%s); rm -f $$bin; \
+	elapsed=$$((end - start)); \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECS) ]; then \
+		echo "lint: FAIL: spatiallint took $${elapsed}s, budget $(LINT_BUDGET_SECS)s"; exit 1; \
+	fi; \
+	echo "lint: clean in $${elapsed}s (budget $(LINT_BUDGET_SECS)s)"
 
 test:
 	$(GO) test ./...
@@ -64,9 +77,13 @@ bench:
 # iterations: tile claiming and the per-tile skew metrics only exercise
 # interesting paths once the fixtures are warm, so give them one warm
 # pass beyond what the full 1x sweep above provides.
+# The allocs/op lane re-runs the two headline join benchmarks with
+# -benchmem so an allocation regression on the fetch/sweep hot paths
+# shows up in CI output next to the hotalloc lint (see DESIGN.md §16).
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -count 1 ./...
 	$(GO) test -run NONE -bench 'Table2GridJoin|AblationGridTiles|AblationGridVsSubtree' -benchtime 2x -count 1 .
+	$(GO) test -run NONE -bench 'Table2IndexJoin$$|Table2GridJoin' -benchmem -benchtime 2x -count 1 .
 
 # End-to-end observability check: boot spatialserverd with -metrics-addr,
 # run a join over the wire, scrape /metrics and assert the core series

@@ -14,11 +14,14 @@
 //	-C dir        run as if started in dir
 //	-disable a,b  disable the named analyzers
 //	-json         emit findings as a JSON array instead of text
-//	-list         print the analyzers and exit
+//	-rules        print the registered rules with descriptions and exit
+//	              (-list is an alias)
 //	-cfg-debug f  print the control-flow graph of function f (Graphviz
 //	              dot; f is "Name" or "Type.Method") and exit
 //	-lockgraph    print the module-wide lock-order graph (Graphviz dot,
 //	              cycle edges in red) and exit
+//	-allocgraph   print the hot-path allocation graph (Graphviz dot,
+//	              hot roots in red) and exit
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings,
 // 2 load or usage failure.
@@ -29,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"go/ast"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,16 +46,16 @@ func main() {
 		chdir    = flag.String("C", "", "run as if started in `dir`")
 		disable  = flag.String("disable", "", "comma-separated `rules` to disable")
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
-		listOnly = flag.Bool("list", false, "print the analyzers and exit")
+		listOnly = flag.Bool("list", false, "print the registered rules with descriptions and exit")
+		rules    = flag.Bool("rules", false, "alias for -list")
 		cfgDebug = flag.String("cfg-debug", "", "print the CFG of `func` (\"Name\" or \"Type.Method\") as Graphviz dot and exit")
 		lockDot  = flag.Bool("lockgraph", false, "print the module lock-order graph as Graphviz dot and exit")
+		allocDot = flag.Bool("allocgraph", false, "print the hot-path allocation graph as Graphviz dot and exit")
 	)
 	flag.Parse()
 
-	if *listOnly {
-		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
-		}
+	if *listOnly || *rules {
+		listRules(os.Stdout)
 		return
 	}
 
@@ -60,7 +64,11 @@ func main() {
 	}
 
 	if *lockDot {
-		os.Exit(dumpLockGraph(*chdir, flag.Args()))
+		os.Exit(dumpModuleDot(*chdir, flag.Args(), analysis.LockGraphDot))
+	}
+
+	if *allocDot {
+		os.Exit(dumpModuleDot(*chdir, flag.Args(), analysis.AllocGraphDot))
 	}
 
 	disabled := make(map[string]bool)
@@ -152,15 +160,24 @@ func dumpCFG(chdir, name string, patterns []string) int {
 	return 0
 }
 
-// dumpLockGraph prints the module-wide lock-order graph in Graphviz
-// dot form, with the edges of any deadlock cycle drawn in red.
-func dumpLockGraph(chdir string, patterns []string) int {
+// listRules prints every registered rule with its one-line description
+// (the -rules / -list inventory).
+func listRules(w io.Writer) {
+	for _, a := range analysis.Analyzers() {
+		fmt.Fprintf(w, "%-16s %s\n", a.Name, a.Doc)
+	}
+}
+
+// dumpModuleDot loads the packages, builds the module summary, and
+// prints one of the module-wide Graphviz renderings (-lockgraph,
+// -allocgraph).
+func dumpModuleDot(chdir string, patterns []string, render func(*analysis.Module) string) int {
 	pkgs, _, err := analysis.Load(chdir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spatiallint:", err)
 		return 2
 	}
-	fmt.Print(analysis.LockGraphDot(analysis.BuildModule(pkgs)))
+	fmt.Print(render(analysis.BuildModule(pkgs)))
 	return 0
 }
 

@@ -1,0 +1,963 @@
+package analysis
+
+// Per-function allocation and escape summaries, folded to a module-wide
+// fixpoint by BuildModule alongside the taint/release/lock facts. These
+// power the hotalloc rule (hotalloc.go): every function carries the
+// allocation sites it executes directly plus — mirroring the lock
+// summaries — the sites its callees reach, each with a via-chain, so a
+// declared hot function sees through its call tree to the allocations
+// it may pay per invocation.
+//
+// The escape side is a three-point lattice per value:
+//
+//	EscNone   < EscResult          < EscHeap
+//	(local)     (returned to caller) (stored in a struct/global/chan,
+//	                                  captured by a goroutine, passed
+//	                                  to an escaping parameter)
+//
+// computed per function by climbing each value's consumers in the AST
+// and joining across local assignment chains; parameter escape classes
+// (ParamEscapes) make the climb interprocedural, so a closure handed to
+// a callee that only calls it is recognized as non-escaping, while one
+// stored by the callee is heap.
+//
+// Not every allocation is worth a report. The collection applies the
+// codebase's amortization idioms before recording a site:
+//
+//   - self-append (x = append(x, …), including re-sliced forms like
+//     x = append(x[:0], …)) is the blessed scratch-reuse pattern;
+//   - append to a caller-supplied buffer parameter (the AppendTo(dst)
+//     idiom) allocates on the caller's account, by contract;
+//   - make with constant sizes that does not escape stack-allocates;
+//   - new/&T{}/closures only cost when they escape;
+//   - sites on error paths (inside an if whose condition tests an
+//     error) are cold by definition;
+//   - dead CFG blocks are not reached at all.
+//
+// string↔[]byte conversions and interface boxing always copy, so they
+// are always recorded.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// AllocKind classifies one allocation site.
+type AllocKind int
+
+const (
+	AllocMake AllocKind = iota
+	AllocNew
+	AllocComposite
+	AllocAppend
+	AllocConvert
+	AllocBox
+	AllocClosure
+)
+
+func (k AllocKind) String() string {
+	switch k {
+	case AllocMake:
+		return "make"
+	case AllocNew:
+		return "new"
+	case AllocComposite:
+		return "composite literal"
+	case AllocAppend:
+		return "append growth"
+	case AllocConvert:
+		return "conversion copy"
+	case AllocBox:
+		return "interface boxing"
+	case AllocClosure:
+		return "closure"
+	}
+	return "alloc"
+}
+
+// EscClass is the escape lattice: how far an allocated value outlives
+// the expression that produced it.
+type EscClass int
+
+const (
+	EscNone   EscClass = iota // stays local to the function
+	EscResult                 // returned to the caller
+	EscHeap                   // stored in a struct/global/channel or escaping call
+)
+
+func (c EscClass) String() string {
+	switch c {
+	case EscResult:
+		return "escapes to caller"
+	case EscHeap:
+		return "escapes to heap"
+	}
+	return "does not escape"
+}
+
+// AllocSite is one direct allocation a function performs.
+type AllocSite struct {
+	Pos  token.Pos
+	Kind AllocKind
+	What string // rendered source expression, capped
+	Esc  EscClass
+}
+
+// TransAlloc is an allocation reached through a callee chain. Where is
+// pre-rendered ("file.go:NN") because a token.Pos is only meaningful
+// against the defining package's FileSet, which a caller in another
+// package does not share.
+type TransAlloc struct {
+	Kind  AllocKind
+	What  string
+	Where string
+	Via   string // callee chain, "g" or "g → h"
+}
+
+// transAllocCap bounds the transitive entries carried per function;
+// deep chains (row decode → geometry unmarshal) fan out far beyond
+// what a report can use. Selection is by sorted key, deterministic.
+const transAllocCap = 16
+
+// updateAllocFacts recomputes the allocation summary of s from its AST,
+// its CFG's live blocks, and the current summaries of its callees;
+// reports a change.
+func updateAllocFacts(s *FuncSummary, m *Module) bool {
+	parents := m.parentsFor(s.Decl)
+	esc := escapeClasses(s, m, parents)
+	cold := m.coldFor(s)
+
+	sig := s.Fn.Signature()
+	pe := make([]EscClass, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		pe[i] = esc[sig.Params().At(i)]
+	}
+
+	sites := collectAllocSites(s, m, parents, esc, cold)
+	trans := collectTransAllocs(s, m, cold)
+
+	changed := !slices.Equal(sites, s.AllocSites) ||
+		!slices.Equal(pe, s.ParamEscapes) ||
+		!maps.Equal(trans, s.TransAllocs)
+	if changed {
+		s.AllocSites, s.ParamEscapes, s.TransAllocs = sites, pe, trans
+	}
+	return changed
+}
+
+// --- escape analysis ---
+
+// escapeClasses computes the escape class of every variable local to
+// s (parameters, results, locals, closure locals), iterating to a
+// fixpoint so assignment chains between locals converge.
+func escapeClasses(s *FuncSummary, m *Module, parents map[ast.Node]ast.Node) map[types.Object]EscClass {
+	info := s.Pkg.Info
+	esc := make(map[types.Object]EscClass)
+	// Named results are returned by definition.
+	if r := s.Decl.Type.Results; r != nil {
+		for _, f := range r.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					esc[obj] = EscResult
+				}
+			}
+		}
+	}
+	for range 8 {
+		changed := false
+		ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() || !declaredIn(v, s.Decl) {
+				return true
+			}
+			cls := escConsumer(s, m, parents, esc, id)
+			if cls > esc[v] {
+				esc[v] = cls
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return esc
+}
+
+// declaredIn reports whether v is declared inside fd (parameter,
+// result, or local — as opposed to a package-level variable).
+func declaredIn(v *types.Var, fd *ast.FuncDecl) bool {
+	return v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+}
+
+// escConsumer climbs from expression e through its consumers and
+// reports how far the value escapes. The climb passes through
+// value-preserving contexts (parens, conversions, &, composite-literal
+// elements, append) and stops at a classifying consumer: a return, a
+// store, a send, a call argument.
+func escConsumer(s *FuncSummary, m *Module, parents map[ast.Node]ast.Node, esc map[types.Object]EscClass, e ast.Expr) EscClass {
+	info := s.Pkg.Info
+	cur := ast.Node(e)
+	for range 64 {
+		p := parents[cur]
+		if p == nil {
+			return EscNone
+		}
+		switch p := p.(type) {
+		case *ast.ParenExpr, *ast.StarExpr, *ast.TypeAssertExpr, *ast.KeyValueExpr, *ast.CompositeLit:
+			cur = p
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				cur = p
+				continue
+			}
+			return EscNone
+		case *ast.ReturnStmt:
+			return EscResult
+		case *ast.SendStmt:
+			return EscHeap
+		case *ast.GoStmt, *ast.DeferStmt:
+			return EscHeap
+		case *ast.AssignStmt:
+			for i, r := range p.Rhs {
+				if r != cur {
+					continue
+				}
+				if len(p.Lhs) == len(p.Rhs) {
+					return lhsEscape(s, esc, p.Lhs[i])
+				}
+				cls := EscNone
+				for _, l := range p.Lhs {
+					cls = max(cls, lhsEscape(s, esc, l))
+				}
+				return cls
+			}
+			return EscNone // cur is a store target, not a stored value
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if v == cur && i < len(p.Names) {
+					return lhsEscape(s, esc, p.Names[i])
+				}
+			}
+			return EscNone
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				// Calling a value does not escape it — unless the call
+				// itself is a goroutine launch.
+				if _, ok := parents[p].(*ast.GoStmt); ok {
+					return EscHeap
+				}
+				return EscNone
+			}
+			if tv, ok := info.Types[p.Fun]; ok && tv.IsType() {
+				cur = p // conversion: value flows into the result
+				continue
+			}
+			cls, through := m.callArgEscape(s, p, cur)
+			if through {
+				cur = p
+				continue
+			}
+			return cls
+		case *ast.IndexExpr:
+			if p.Index == cur {
+				return EscNone
+			}
+			// Reading an element: only pointer-bearing elements can
+			// carry the base out through the read value.
+			if tv, ok := info.Types[p]; ok && tv.Type != nil && !typeHasPointers(tv.Type) {
+				return EscNone
+			}
+			cur = p
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return EscNone
+			}
+			if tv, ok := info.Types[p]; ok && tv.Type != nil && !typeHasPointers(tv.Type) {
+				return EscNone
+			}
+			cur = p
+		case *ast.SliceExpr:
+			if p.X != cur {
+				return EscNone
+			}
+			cur = p
+		default:
+			return EscNone
+		}
+	}
+	return EscHeap // pathological nesting: fail conservative
+}
+
+// lhsEscape reports the escape class a value acquires by being stored
+// into target l.
+func lhsEscape(s *FuncSummary, esc map[types.Object]EscClass, l ast.Expr) EscClass {
+	info := s.Pkg.Info
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return EscNone
+		}
+		obj := info.Defs[l]
+		if obj == nil {
+			obj = info.Uses[l]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return EscHeap
+		}
+		if declaredIn(v, s.Decl) {
+			return esc[v]
+		}
+		return EscHeap // package-level variable
+	case *ast.ParenExpr:
+		return lhsEscape(s, esc, l.X)
+	case *ast.SelectorExpr:
+		// Storing through a pointer base puts the value in the heap
+		// object the pointer names; a value-typed local struct only
+		// escapes as far as the struct does.
+		if tv, ok := info.Types[l.X]; ok && tv.Type != nil {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				return EscHeap
+			}
+		}
+		return lhsEscape(s, esc, l.X)
+	case *ast.IndexExpr:
+		return lhsEscape(s, esc, l.X)
+	case *ast.StarExpr:
+		return EscHeap
+	}
+	return EscHeap
+}
+
+// callArgEscape classifies how call consumes arg (one of its Args).
+// through=true means the value flows into the call's result and the
+// climb continues from the call expression.
+func (m *Module) callArgEscape(s *FuncSummary, call *ast.CallExpr, arg ast.Node) (EscClass, bool) {
+	info := s.Pkg.Info
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				return EscNone, true // base and elements live on in the result
+			}
+			return EscNone, false // len/cap/copy/delete/panic/…
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return EscHeap, false // func-value call: unknown retention
+	}
+	if sum := m.SummaryOf(fn); sum != nil {
+		idx := -1
+		for i, a := range call.Args {
+			if ast.Node(a) == arg {
+				idx = i
+				break
+			}
+		}
+		sig := fn.Signature()
+		if idx >= len(sum.ParamEscapes) {
+			if sig.Variadic() && len(sum.ParamEscapes) > 0 {
+				idx = len(sum.ParamEscapes) - 1
+			} else {
+				return EscNone, false
+			}
+		}
+		if idx < 0 {
+			return EscNone, false
+		}
+		switch sum.ParamEscapes[idx] {
+		case EscHeap:
+			return EscHeap, false
+		case EscResult:
+			return EscNone, true
+		}
+		return EscNone, false
+	}
+	if stdlibNonEscaping(fn) {
+		return EscNone, false
+	}
+	return EscHeap, false
+}
+
+// stdlibNonEscaping lists the standard-library packages whose functions
+// are known not to retain their arguments past the call — the ones the
+// hot paths actually use. Everything else defaults to escaping, which
+// is the conservative direction for a lint.
+func stdlibNonEscaping(fn *types.Func) bool {
+	switch pkgPathOf(fn) {
+	case "slices", "sort", "maps", "cmp", "math", "math/bits",
+		"time", "sync", "sync/atomic", "strconv", "unicode/utf8", "encoding/binary":
+		return true
+	}
+	return false
+}
+
+// typeHasPointers reports whether values of t can carry references —
+// the test for whether reading an element/field can let the container
+// escape through the read value.
+func typeHasPointers(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.String || u.Kind() == types.UnsafePointer
+	case *types.Array:
+		return typeHasPointers(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasPointers(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// --- direct-site collection ---
+
+// collectAllocSites gathers the reportable direct allocation sites of
+// s: live, off the error paths, and past the amortization exemptions.
+func collectAllocSites(s *FuncSummary, m *Module, parents map[ast.Node]ast.Node, esc map[types.Object]EscClass, cold []posRange) []AllocSite {
+	var sites []AllocSite
+	add := func(pos token.Pos, kind AllocKind, what string, cls EscClass) {
+		sites = append(sites, AllocSite{Pos: pos, Kind: kind, What: what, Esc: cls})
+	}
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if ne, ok := n.(ast.Expr); ok {
+			if inCold(cold, ne.Pos()) {
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			collectCallSites(s, m, parents, esc, n, add)
+		case *ast.CompositeLit:
+			collectCompositeSites(s, m, parents, esc, n, add)
+		case *ast.FuncLit:
+			if cls := escConsumer(s, m, parents, esc, n); cls > EscNone {
+				add(n.Pos(), AllocClosure, "func literal", cls)
+			}
+		}
+		return true
+	})
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Pos != sites[j].Pos {
+			return sites[i].Pos < sites[j].Pos
+		}
+		return sites[i].What < sites[j].What
+	})
+	return sites
+}
+
+// collectCallSites records the allocation behaviour of one call
+// expression: make/new builtins, append growth, copying conversions,
+// and interface boxing of arguments.
+func collectCallSites(s *FuncSummary, m *Module, parents map[ast.Node]ast.Node, esc map[types.Object]EscClass, call *ast.CallExpr, add func(token.Pos, AllocKind, string, EscClass)) {
+	info := s.Pkg.Info
+
+	// Builtins: make, new, append.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				cls := escConsumer(s, m, parents, esc, call)
+				if cls == EscNone && constSizes(info, call.Args[1:]) {
+					return // stack-allocated scratch
+				}
+				add(call.Pos(), AllocMake, renderExpr(call), cls)
+			case "new":
+				if cls := escConsumer(s, m, parents, esc, call); cls > EscNone {
+					add(call.Pos(), AllocNew, renderExpr(call), cls)
+				}
+			case "append":
+				collectAppendSite(s, m, parents, esc, call, add)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, info.Types[call.Args[0]].Type
+		if src == nil {
+			return
+		}
+		if copyingConversion(dst, src) {
+			add(call.Pos(), AllocConvert, renderExpr(call), escConsumer(s, m, parents, esc, call))
+		} else if boxes(info, dst, call.Args[0]) {
+			add(call.Pos(), AllocBox, renderExpr(call.Args[0]), EscHeap)
+		}
+		return
+	}
+
+	// Interface boxing of arguments at ordinary call sites.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // xs... forwards a slice, no boxing
+		}
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if boxes(info, pt, arg) {
+			add(arg.Pos(), AllocBox, renderExpr(arg), EscHeap)
+		}
+	}
+}
+
+// collectAppendSite records an append's growth unless it matches one of
+// the amortized-reuse idioms: self-append (x = append(x, …), including
+// re-sliced x = append(x[:0], …)) or append to a caller-supplied
+// parameter buffer (the AppendTo(dst) contract).
+func collectAppendSite(s *FuncSummary, m *Module, parents map[ast.Node]ast.Node, esc map[types.Object]EscClass, call *ast.CallExpr, add func(token.Pos, AllocKind, string, EscClass)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	// Elements appended into an interface-typed slice box regardless of
+	// whether the growth itself is exempt.
+	boxedAppendElems(s, call, add)
+
+	base := appendBase(call.Args[0])
+	// Caller-owned buffer: first argument rooted at a parameter (the
+	// AppendTo(dst) contract — growth is on the caller's account).
+	if id, ok := base.(*ast.Ident); ok {
+		obj := s.Pkg.Info.Uses[id]
+		if v, ok := obj.(*types.Var); ok && isParamOf(v, s) {
+			return
+		}
+	}
+	// Self-append: the result lands back in the slice it grew.
+	if as, ok := parents[call].(*ast.AssignStmt); ok {
+		for i, r := range as.Rhs {
+			if r == call && i < len(as.Lhs) && exprString(as.Lhs[i]) == exprString(base) {
+				return
+			}
+		}
+	}
+	add(call.Pos(), AllocAppend, renderExpr(call), escConsumer(s, m, parents, esc, call))
+}
+
+// boxedAppendElems records boxing of elements appended into an
+// interface-typed slice even when the growth itself is exempt.
+func boxedAppendElems(s *FuncSummary, call *ast.CallExpr, add func(token.Pos, AllocKind, string, EscClass)) {
+	tv, ok := s.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Type == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	if sl, ok := tv.Type.Underlying().(*types.Slice); ok {
+		for _, arg := range call.Args[1:] {
+			if boxes(s.Pkg.Info, sl.Elem(), arg) {
+				add(arg.Pos(), AllocBox, renderExpr(arg), EscHeap)
+			}
+		}
+	}
+}
+
+// collectCompositeSites records a composite literal that allocates — a
+// slice or map literal, or an addressed &T{} — plus interface boxing of
+// its elements.
+func collectCompositeSites(s *FuncSummary, m *Module, parents map[ast.Node]ast.Node, esc map[types.Object]EscClass, cl *ast.CompositeLit, add func(token.Pos, AllocKind, string, EscClass)) {
+	info := s.Pkg.Info
+	// A literal nested in an enclosing literal is part of the outer
+	// allocation, not its own.
+	p := parents[cl]
+	if kv, ok := p.(*ast.KeyValueExpr); ok {
+		p = parents[kv]
+	}
+	if _, ok := p.(*ast.CompositeLit); ok {
+		return
+	}
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	addressed := false
+	if u, ok := parents[cl].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		addressed = true
+	}
+	what := renderExpr(cl)
+	if addressed {
+		what = "&" + what
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		if cls := escConsumer(s, m, parents, esc, cl); cls > EscNone {
+			add(cl.Pos(), AllocComposite, what, cls)
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if boxes(info, u.Elem(), elt) {
+				add(elt.Pos(), AllocBox, renderExpr(elt), EscHeap)
+			}
+		}
+	case *types.Map:
+		if cls := escConsumer(s, m, parents, esc, cl); cls > EscNone {
+			add(cl.Pos(), AllocComposite, what, cls)
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if boxes(info, u.Elem(), kv.Value) {
+					add(kv.Value.Pos(), AllocBox, renderExpr(kv.Value), EscHeap)
+				}
+			}
+		}
+	default:
+		if addressed {
+			if cls := escConsumer(s, m, parents, esc, cl); cls > EscNone {
+				add(cl.Pos(), AllocComposite, what, cls)
+			}
+		}
+	}
+}
+
+// boxes reports whether assigning arg to a target of type dst boxes a
+// concrete value into an interface with a heap copy: the target is an
+// interface, the value is concrete, not pointer-shaped (pointers,
+// channels, maps and funcs fit the interface word as-is), not nil, and
+// not a compile-time constant (small constants hit the runtime's
+// static boxes).
+func boxes(info *types.Info, dst types.Type, arg ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	if isNilIdent(arg) {
+		return false
+	}
+	t := tv.Type
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return false // interface→interface: no copy
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored in the interface word
+	case *types.Basic:
+		if t.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// copyingConversion reports a string↔[]byte/[]rune conversion — the
+// ones that copy their operand.
+func copyingConversion(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStr(src))
+}
+
+// constSizes reports whether every size argument is a compile-time
+// constant (a make with constant sizes and no escape stack-allocates).
+func constSizes(info *types.Info, args []ast.Expr) bool {
+	for _, a := range args {
+		if tv, ok := info.Types[a]; !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// appendBase strips the re-slicing from an append's first argument:
+// append(x[:0], …) and append(x[:n], …) grow x.
+func appendBase(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}
+
+// isParamOf reports whether v is a parameter (or the receiver) of s.
+func isParamOf(v *types.Var, s *FuncSummary) bool {
+	sig := s.Fn.Signature()
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return sig.Recv() == v
+}
+
+// paramTypeAt returns the type of parameter i of sig, unrolling the
+// variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if i < n-1 || !sig.Variadic() {
+		if i >= n {
+			return nil
+		}
+		return sig.Params().At(i).Type()
+	}
+	last := sig.Params().At(n - 1).Type()
+	if sl, ok := last.Underlying().(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return last
+}
+
+// renderExpr renders an expression for a report, capped.
+func renderExpr(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}
+
+// --- transitive folding ---
+
+// collectTransAllocs folds the allocation summaries of s's concrete
+// module callees into transitive entries with via-chains. Interface
+// calls are not expanded: CHA-lite resolution is far too noisy for
+// allocation accounting (every Fetch would inherit every cursor's
+// allocations).
+func collectTransAllocs(s *FuncSummary, m *Module, cold []posRange) map[string]TransAlloc {
+	info := s.Pkg.Info
+	trans := make(map[string]TransAlloc)
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if inCold(cold, call.Pos()) {
+			return false
+		}
+		fn := calleeFunc(info, call)
+		sum := m.SummaryOf(fn)
+		if sum == nil || sum == s {
+			return true
+		}
+		name := declNameOf(sum.Decl)
+		for _, site := range sum.AllocSites {
+			where := shortPos(sum.Pkg, site.Pos)
+			foldTrans(trans, where+" "+site.What, TransAlloc{Kind: site.Kind, What: site.What, Where: where, Via: name})
+		}
+		for _, ta := range sum.TransAllocs {
+			foldTrans(trans, ta.Where+" "+ta.What, TransAlloc{Kind: ta.Kind, What: ta.What, Where: ta.Where, Via: name + " → " + ta.Via})
+		}
+		return true
+	})
+	if len(trans) > transAllocCap {
+		keys := sortedKeys(trans)
+		for _, k := range keys[transAllocCap:] {
+			delete(trans, k)
+		}
+	}
+	return trans
+}
+
+// foldTrans inserts ta under key, keeping the shortest via-chain when
+// several paths reach the same site (ties break lexicographically, so
+// the fixpoint is deterministic and terminates).
+func foldTrans(trans map[string]TransAlloc, key string, ta TransAlloc) {
+	old, ok := trans[key]
+	if !ok {
+		trans[key] = ta
+		return
+	}
+	if len(ta.Via) < len(old.Via) || (len(ta.Via) == len(old.Via) && ta.Via < old.Via) {
+		trans[key] = ta
+	}
+}
+
+// declNameOf renders a FuncDecl name the way reports and the -cfg-debug
+// flag spell it: "Name" or "Type.Method".
+func declNameOf(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// --- cold regions ---
+
+// posRange is a half-open source region [start, end].
+type posRange struct{ start, end token.Pos }
+
+func inCold(spans []posRange, pos token.Pos) bool {
+	for _, sp := range spans {
+		if pos >= sp.start && pos <= sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// coldFor returns (cached) the source regions of s that the hot-path
+// accounting skips: CFG-dead blocks, and the bodies of if-statements
+// whose condition tests an error — the error paths of a fetch loop run
+// once per failure, not per row.
+func (m *Module) coldFor(s *FuncSummary) []posRange {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if m.coldC == nil {
+		m.coldC = make(map[*ast.FuncDecl][]posRange)
+	}
+	if spans, ok := m.coldC[s.Decl]; ok {
+		return spans
+	}
+	var spans []posRange
+	g := m.graphFor(s.Decl.Body)
+	for _, b := range g.Blocks {
+		if b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			spans = append(spans, posRange{n.Pos(), n.End()})
+		}
+	}
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		if condTouchesError(s.Pkg.Info, ifs.Cond) || endsInErrorExit(s.Pkg.Info, ifs.Body) {
+			spans = append(spans, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	// A return that constructs a fresh error (fmt.Errorf, errors.New,
+	// wrappers) is a failure exit wherever it sits — switch defaults and
+	// terminal falls-through included.
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		last := ret.Results[len(ret.Results)-1]
+		if _, isCall := ast.Unparen(last).(*ast.CallExpr); !isCall {
+			return true
+		}
+		tv, ok := s.Pkg.Info.Types[last]
+		if ok && tv.Type != nil && types.Identical(tv.Type, types.Universe.Lookup("error").Type()) {
+			spans = append(spans, posRange{ret.Pos(), ret.End()})
+		}
+		return true
+	})
+	m.coldC[s.Decl] = spans
+	return spans
+}
+
+// endsInErrorExit reports whether block b is a failure exit: its last
+// statement returns a non-nil error, or panics. Bounds checks and
+// corruption guards end this way, and their boxing of format arguments
+// runs once per failure, not per row.
+func endsInErrorExit(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		e := last.Results[len(last.Results)-1]
+		if isNilIdent(e) {
+			return false
+		}
+		tv, ok := info.Types[e]
+		return ok && tv.Type != nil && types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "panic"
+	}
+	return false
+}
+
+// condTouchesError reports whether cond has an operand of type error.
+func condTouchesError(info *types.Info, cond ast.Expr) bool {
+	errType := types.Universe.Lookup("error").Type()
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := info.Types[e]; ok && tv.Type != nil && types.Identical(tv.Type, errType) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// parentsFor returns (cached) the child→parent map of fd's body.
+func (m *Module) parentsFor(fd *ast.FuncDecl) map[ast.Node]ast.Node {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if m.parentsC == nil {
+		m.parentsC = make(map[*ast.FuncDecl]map[ast.Node]ast.Node)
+	}
+	if p, ok := m.parentsC[fd]; ok {
+		return p
+	}
+	p := parentMap(fd.Body)
+	m.parentsC[fd] = p
+	return p
+}

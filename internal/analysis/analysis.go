@@ -38,6 +38,12 @@
 //	metricname     telemetry metric names must be constant strings in
 //	               lowercase_snake, unique across the module (the
 //	               registry's runtime panic on a duplicate, at lint time)
+//	hotalloc       no hidden allocations on declared hot paths
+//	               (//spatiallint:hot plus seeded fetch/sweep/pin/encode
+//	               roots): direct make/append/boxing/closure sites,
+//	               allocating callees with via-chains, defer and map
+//	               iteration inside hot loops, and sync.Pool bypass —
+//	               on an interprocedural escape analysis (allocsummary.go)
 //
 // pinpair, cursorclose, and the three rules below the line run on the
 // control-flow-graph engine in the cfg subpackage: per-function basic
@@ -124,6 +130,7 @@ func Analyzers() []*Analyzer {
 		GoLeak,
 		ReleaseSummary,
 		MetricName,
+		HotAlloc,
 	}
 }
 

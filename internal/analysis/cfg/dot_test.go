@@ -1,0 +1,66 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDotRendersBranches checks the dot output for a function with a
+// conditional: every block appears as a node, the branch edges carry
+// condition=leg labels, and the whole thing is one well-formed digraph.
+func TestDotRendersBranches(t *testing.T) {
+	g, fset := buildFunc(t, `
+	if x := 1; x > 0 {
+		println("pos")
+	} else {
+		println("neg")
+	}
+	return`)
+	dot := Dot(g, fset, "p.f")
+
+	if !strings.HasPrefix(dot, "digraph \"p.f\" {\n") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a well-formed digraph:\n%s", dot)
+	}
+	for _, blk := range g.Blocks {
+		if !strings.Contains(dot, fmt.Sprintf("b%d [label=", blk.Index)) {
+			t.Errorf("block b%d has no node line:\n%s", blk.Index, dot)
+		}
+	}
+	for _, want := range []string{
+		`label="x > 0=true"`,
+		`label="x > 0=false"`,
+		`label="return"`,
+		`println(\"pos\")`,
+		`println(\"neg\")`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestDotDeadBlockDashed checks that unreachable blocks render with the
+// dashed style so -cfg-debug makes dead code visible at a glance.
+func TestDotDeadBlockDashed(t *testing.T) {
+	g, fset := buildFunc(t, `
+	return
+	println("dead")`)
+	dot := Dot(g, fset, "p.f")
+	if !strings.Contains(dot, "style=dashed") {
+		t.Errorf("dead block not dashed:\n%s", dot)
+	}
+}
+
+// TestDotEscapesQuotes checks that string literals in statements are
+// escaped inside the double-quoted dot labels.
+func TestDotEscapesQuotes(t *testing.T) {
+	g, fset := buildFunc(t, `println("he said \"hi\"")`)
+	dot := Dot(g, fset, "p.f")
+	if !strings.Contains(dot, `\\\"hi\\\"`) {
+		t.Errorf("nested quotes not double-escaped:\n%s", dot)
+	}
+	if n := strings.Count(dot, "digraph"); n != 1 {
+		t.Errorf("got %d digraphs, want 1", n)
+	}
+}

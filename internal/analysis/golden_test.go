@@ -139,7 +139,7 @@ diags:
 }
 
 func TestGolden(t *testing.T) {
-	for _, rule := range []string{"pinpair", "cursorclose", "latchpair", "lockdiscipline", "lockorder", "atomicmix", "wireerr", "floateq", "taintsize", "goleak", "releasesummary", "metricname"} {
+	for _, rule := range []string{"pinpair", "cursorclose", "latchpair", "lockdiscipline", "lockorder", "atomicmix", "wireerr", "floateq", "taintsize", "goleak", "releasesummary", "metricname", "hotalloc"} {
 		t.Run(rule, func(t *testing.T) {
 			checkFixture(t, filepath.Join("testdata", "src", rule), []*Analyzer{ByName(rule)})
 		})

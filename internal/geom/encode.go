@@ -45,8 +45,42 @@ func AppendBinary(dst []byte, g Geometry) []byte {
 
 // MarshalBinary returns the binary image of g.
 func MarshalBinary(g Geometry) []byte {
-	// Pre-size: 1 byte kind + 16 bytes per vertex + slack.
-	return AppendBinary(make([]byte, 0, 16+16*g.NumVertices()), g)
+	return AppendBinary(make([]byte, 0, BinarySize(g)), g)
+}
+
+// BinarySize returns len(AppendBinary(nil, g)) without encoding, so
+// callers that need a length prefix can append in place instead of
+// marshalling to a throwaway buffer.
+func BinarySize(g Geometry) int {
+	n := 1 // kind byte
+	switch g.Kind {
+	case KindPoint, KindLineString:
+		n += uvarintLen(1) + coordsSize(g.Pts)
+	case KindPolygon:
+		n += uvarintLen(uint64(len(g.Rings)))
+		for _, r := range g.Rings {
+			n += coordsSize(r)
+		}
+	default:
+		n += uvarintLen(uint64(len(g.Elems)))
+		for _, e := range g.Elems {
+			n += BinarySize(e)
+		}
+	}
+	return n
+}
+
+func coordsSize(pts []Point) int {
+	return uvarintLen(uint64(len(pts))) + 16*len(pts)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 func appendCoords(dst []byte, pts []Point) []byte {

@@ -140,6 +140,11 @@ func TestBinaryRoundTrip(t *testing.T) {
 		if !g.Equal(g2) {
 			t.Errorf("binary round trip changed %v", g)
 		}
+		// BinarySize lets encoders length-prefix without marshalling to
+		// a throwaway buffer; it must agree with the encoder exactly.
+		if got := BinarySize(g); got != len(b) {
+			t.Errorf("BinarySize(%v) = %d, encoded length %d", g.Kind, got, len(b))
+		}
 	}
 }
 

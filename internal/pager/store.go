@@ -328,6 +328,7 @@ func (s *Store) pin(space, page uint32) (*Frame, error) {
 		return f, nil
 	}
 	s.mMisses.Inc()
+	//spatiallint:ignore hotalloc a buffer-pool miss must materialise the frame; hits return the resident frame
 	f, err := s.loadLocked(page)
 	if err != nil {
 		return nil, err

@@ -380,12 +380,16 @@ func (g *GridJoinFunction) Start() error { return nil }
 // then drain it through the secondary filter.
 func (g *GridJoinFunction) Fetch(max int) ([]storage.Row, error) {
 	j := g.j
+	//spatiallint:ignore hotalloc per-batch output buffer, amortised over max rows
 	out := make([]storage.Row, 0, max)
+	var ar pairArena
+	//spatiallint:ignore hotalloc per-batch row slabs, two allocations amortised over max rows
+	ar.init(max)
 	for len(out) < max {
 		if len(j.ready) > 0 {
 			p := j.ready[0]
 			j.ready = j.ready[1:]
-			out = append(out, pairRow(p))
+			out = append(out, ar.row(p))
 			continue
 		}
 		for len(j.cands) < j.cfg.CandidateCap {
@@ -393,6 +397,7 @@ func (g *GridJoinFunction) Fetch(max int) ([]storage.Row, error) {
 			if ti < 0 {
 				break
 			}
+			//spatiallint:ignore hotalloc span closure only allocates when a telemetry sink is attached, once per tile sweep not per row
 			end := j.span(telemetry.StageTileSweep)
 			t0 := time.Now()
 			g.gs.sweepTile(&g.gs.tiles[ti], func(a, b *tileEntry) {

@@ -164,17 +164,22 @@ func (j *JoinFunction) Start() error {
 // Fetch implements TableFunction: resume the join from the stack and
 // return up to max result pairs.
 func (j *JoinFunction) Fetch(max int) ([]storage.Row, error) {
+	//spatiallint:ignore hotalloc per-batch output buffer, amortised over max rows
 	out := make([]storage.Row, 0, max)
+	var ar pairArena
+	//spatiallint:ignore hotalloc per-batch row slabs, two allocations amortised over max rows
+	ar.init(max)
 	for len(out) < max {
 		// Drain verified results first.
 		if len(j.ready) > 0 {
 			p := j.ready[0]
 			j.ready = j.ready[1:]
-			out = append(out, pairRow(p))
+			out = append(out, ar.row(p))
 			continue
 		}
 		// Refill the candidate array by resuming the index traversal.
 		if len(j.stack) > 0 {
+			//spatiallint:ignore hotalloc span closure only allocates when a telemetry sink is attached, once per refill not per row
 			end := j.span(telemetry.StagePrimary)
 			j.fillCandidates()
 			end()
@@ -409,10 +414,12 @@ func sweepDistOK(a, b sweepEntry, d float64) bool {
 // sharing a cache — skip the base-table decode entirely.
 func (j *JoinFunction) secondaryFilter() error {
 	if j.cfg.SortCandidates {
+		//spatiallint:ignore hotalloc span closure only allocates when a telemetry sink is attached, once per sort not per row
 		end := j.span(telemetry.StageSort)
 		slices.SortFunc(j.cands, comparePairs)
 		end()
 	}
+	//spatiallint:ignore hotalloc span closure only allocates when a telemetry sink is attached, once per drain not per row
 	endDrain := j.span(telemetry.StageSecondary)
 	defer func() {
 		j.flushGeomSpans()
@@ -435,6 +442,7 @@ func (j *JoinFunction) secondaryFilter() error {
 		if err != nil {
 			return err
 		}
+		//spatiallint:ignore hotalloc Relate visited-ring scratch only runs on the exact-mask predicate, bounded by parts per geometry
 		if j.cfg.secondaryAccepts(curGeom, gb) {
 			j.ready = append(j.ready, p)
 			j.stats.Results++
@@ -465,6 +473,7 @@ func (j *JoinFunction) fetchGeom(tab *storage.Table, col int, id storage.RowID) 
 			t0 = time.Now()
 		}
 	}
+	//spatiallint:ignore hotalloc a cache miss must decode and retain the geometry; hits are allocation-free
 	g, hit, err := cachedFetch(j.cache, tab, col, id)
 	if sampled {
 		j.gfNanos += int64(time.Since(t0)) * (geomSampleMask + 1)

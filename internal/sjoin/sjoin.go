@@ -185,6 +185,38 @@ func pairRow(p Pair) storage.Row {
 	}
 }
 
+// rowIDImageLen is the size of one storage.RowID binary image
+// (RowID.AppendTo writes 4 bytes of page + 2 of slot).
+const rowIDImageLen = 6
+
+// pairArena batches the backing storage for one Fetch batch of output
+// rows: a single Value slab and a single rowid-byte slab serve every
+// pair in the batch, replacing pairRow's three heap allocations per row
+// with two per batch. Slabs are sized exactly for max rows, and every
+// row is handed out as a full-capacity slice so an appending caller
+// cannot clobber its neighbour.
+type pairArena struct {
+	vals []storage.Value
+	ids  []byte
+}
+
+func (a *pairArena) init(max int) {
+	a.vals = make([]storage.Value, 0, 2*max)
+	a.ids = make([]byte, 0, 2*rowIDImageLen*max)
+}
+
+// row encodes p like pairRow, carving the result out of the batch slabs.
+func (a *pairArena) row(p Pair) storage.Row {
+	i := len(a.ids)
+	a.ids = p.A.AppendTo(a.ids)
+	j := len(a.ids)
+	a.ids = p.B.AppendTo(a.ids)
+	k := len(a.ids)
+	v := len(a.vals)
+	a.vals = append(a.vals, storage.Bytes(a.ids[i:j:j]), storage.Bytes(a.ids[j:k:k]))
+	return storage.Row(a.vals[v : v+2 : v+2])
+}
+
 // PairFromRow decodes a spatial_join output row.
 func PairFromRow(row storage.Row) (Pair, error) {
 	if len(row) != 2 {

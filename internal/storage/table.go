@@ -165,13 +165,19 @@ func (t *Table) FetchColumn(id RowID, col int) (Value, error) {
 	if col < 0 || col >= len(t.schema) {
 		return Value{}, fmt.Errorf("fetch from %q: column %d out of range", t.name, col)
 	}
-	// decodeRow validates full-row framing; partial decode would save
-	// little for the narrow schemas used here and complicate the codec.
-	row, err := t.Fetch(id)
+	img, err := t.heap.Fetch(id)
 	if err != nil {
-		return Value{}, err
+		return Value{}, fmt.Errorf("fetch from %q: %w", t.name, err)
 	}
-	return row[col], nil
+	// Partial decode: sibling columns are skipped by length, so only
+	// the requested value is materialised (for the join secondary
+	// filter, one geometry instead of the whole row).
+	//spatiallint:ignore hotalloc materialising the requested column (geometry vertices, string copy) is the contract
+	v, err := decodeColumn(t.schema, img, col)
+	if err != nil {
+		return Value{}, fmt.Errorf("fetch from %q at %v: %w", t.name, id, err)
+	}
+	return v, nil
 }
 
 // Update replaces the row at id. Because rowids are stable addresses,

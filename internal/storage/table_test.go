@@ -139,6 +139,28 @@ func TestTableFetchColumn(t *testing.T) {
 	}
 }
 
+// TestDecodeColumnAgreesWithDecodeRow checks the partial decode against
+// the full decode on every column of every type: FetchColumn skips the
+// sibling payloads, so any framing drift between the two decoders would
+// corrupt reads silently.
+func TestDecodeColumnAgreesWithDecodeRow(t *testing.T) {
+	tab, _ := NewTable("t", testSchema())
+	id, _ := tab.Insert(testRow(3))
+	row, err := tab.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := range testSchema() {
+		v, err := tab.FetchColumn(id, col)
+		if err != nil {
+			t.Fatalf("FetchColumn(%d): %v", col, err)
+		}
+		if !rowsEqual(Row{v}, Row{row[col]}) {
+			t.Errorf("column %d: partial decode %v, full decode %v", col, v, row[col])
+		}
+	}
+}
+
 func TestTableDelete(t *testing.T) {
 	tab, _ := NewTable("t", testSchema())
 	id, _ := tab.Insert(testRow(1))

@@ -130,9 +130,8 @@ func encodeRow(dst []byte, schema []Column, row Row) ([]byte, error) {
 			dst = binary.AppendUvarint(dst, uint64(len(v.B)))
 			dst = append(dst, v.B...)
 		case TGeometry:
-			img := geom.MarshalBinary(v.G)
-			dst = binary.AppendUvarint(dst, uint64(len(img)))
-			dst = append(dst, img...)
+			dst = binary.AppendUvarint(dst, uint64(geom.BinarySize(v.G)))
+			dst = geom.AppendBinary(dst, v.G)
 		default:
 			return nil, fmt.Errorf("storage: column %q has bad type %v", col.Name, col.Type)
 		}
@@ -192,6 +191,53 @@ func decodeRow(schema []Column, b []byte) (Row, error) {
 		return nil, fmt.Errorf("storage: %d trailing bytes after row", len(b))
 	}
 	return row, nil
+}
+
+// decodeColumn parses only column col of a row image, skipping every
+// other column's payload without copying it. The hot secondary-filter
+// path fetches a single geometry per candidate; decoding the siblings
+// (string copies, vertex slices) would be pure waste there.
+func decodeColumn(schema []Column, b []byte, col int) (Value, error) {
+	for i, c := range schema {
+		want := i == col
+		switch c.Type {
+		case TInt64, TFloat64:
+			if len(b) < 8 {
+				return Value{}, fmt.Errorf("storage: truncated column %q", c.Name)
+			}
+			if want {
+				if c.Type == TInt64 {
+					return Int(int64(binary.LittleEndian.Uint64(b))), nil
+				}
+				return Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+			}
+			b = b[8:]
+		case TString, TBytes, TGeometry:
+			s, rest, err := decodeBlob(b, c.Name)
+			if err != nil {
+				return Value{}, err
+			}
+			if want {
+				switch c.Type {
+				case TString:
+					return Str(string(s)), nil
+				case TBytes:
+					out := make([]byte, len(s))
+					copy(out, s)
+					return Bytes(out), nil
+				}
+				g, err := geom.UnmarshalBinary(s)
+				if err != nil {
+					return Value{}, fmt.Errorf("storage: column %q: %w", c.Name, err)
+				}
+				return Geom(g), nil
+			}
+			b = rest
+		default:
+			return Value{}, fmt.Errorf("storage: column %q has bad type %v", c.Name, c.Type)
+		}
+	}
+	return Value{}, fmt.Errorf("storage: column %d out of range", col)
 }
 
 func decodeBlob(b []byte, col string) (payload, rest []byte, err error) {

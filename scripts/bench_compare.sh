@@ -1,0 +1,67 @@
+#!/bin/sh
+# Compares two benchmark recordings made by bench_record.sh (NDJSON of
+# `go test -json` events) and prints per-benchmark ns/op and allocs/op
+# deltas:
+#
+#   scripts/bench_compare.sh BENCH_pr8.json BENCH_pr9.json
+#
+# Benchmarks are keyed by the event's Test field, which carries the full
+# sub-benchmark name even when the human-readable output line is split
+# across events. Benchmarks present in only one file are reported with
+# n/a on the missing side. Dependency-free: POSIX sh + awk.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 OLD.json NEW.json" >&2
+	exit 2
+fi
+
+awk -v old="$1" '
+# getfield extracts a string field from one NDJSON event line.
+function getfield(line, name,    s) {
+	if (!match(line, "\"" name "\":\"")) return ""
+	s = substr(line, RSTART + RLENGTH)
+	sub(/".*/, "", s)
+	return s
+}
+# metric pulls the value in front of unit from a benchmark output line
+# (tabs arrive as literal \t escapes inside the JSON string).
+function metric(out, unit,    n, parts, i, a) {
+	n = split(out, parts, /\\t/)
+	for (i = 1; i <= n; i++)
+		if (index(parts[i], unit) > 0) {
+			split(parts[i], a, " ")
+			return a[1]
+		}
+	return ""
+}
+function pct(o, n) {
+	if (o == "" || n == "" || o + 0 == 0) return "    n/a"
+	return sprintf("%+6.1f%%", (n - o) * 100.0 / o)
+}
+function col(v) { return v == "" ? "n/a" : v }
+{
+	test = getfield($0, "Test")
+	out = getfield($0, "Output")
+	if (test == "" || index(out, "ns/op") == 0) next
+	ns = metric(out, "ns/op")
+	al = metric(out, "allocs/op")
+	isold = (FILENAME == old)
+	if (isold) {
+		ons[test] = ns; oal[test] = al
+	} else {
+		nns[test] = ns; nal[test] = al
+	}
+	if (!(test in seen)) { seen[test] = 1; order[++ntests] = test }
+}
+END {
+	printf "%-44s %14s %14s %8s %12s %12s %8s\n", \
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+	for (i = 1; i <= ntests; i++) {
+		t = order[i]
+		printf "%-44s %14s %14s %s %12s %12s %s\n", t, \
+			col(ons[t]), col(nns[t]), pct(ons[t], nns[t]), \
+			col(oal[t]), col(nal[t]), pct(oal[t], nal[t])
+	}
+}
+' "$1" "$2"

@@ -14,9 +14,11 @@ out="${1:-BENCH_pr3.json}"
 
 : >"$out"
 # -json wraps each line of benchmark output in a TestEvent; keep the
-# events that carry benchmark results (name line, metrics line) and the
-# per-package summaries, drop the noise.
+# events that carry benchmark results and the per-package summaries,
+# drop the noise. A long benchmark name splits its result across two
+# events — the name, then a continuation holding only the metrics — so
+# metric lines are matched by 'ns/op', not by the Benchmark prefix.
 go test -run NONE -bench . -benchmem -benchtime 1x -count 1 -json ./... |
-	grep -e '"Output":"Benchmark' -e '"Output":"ok' >>"$out"
+	grep -e '"Output":"Benchmark' -e 'ns/op' -e '"Output":"ok' >>"$out"
 
 echo "wrote $out ($(wc -l <"$out") result lines)"
