@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record obs-smoke crash-smoke
+.PHONY: ci fmt-check vet build lint test race race-hot fuzz-smoke bench bench-smoke bench-wire bench-record obs-smoke crash-smoke cluster-smoke
 
-ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke obs-smoke crash-smoke
+ci: fmt-check vet build lint race-hot race fuzz-smoke bench-smoke obs-smoke crash-smoke cluster-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -96,6 +96,13 @@ obs-smoke:
 # require identical counts and join answers after WAL redo.
 crash-smoke:
 	./scripts/crash_smoke.sh
+
+# End-to-end cluster check: three shards behind spatialrouterd must
+# answer counts, a cross-shard join, and a window query exactly like a
+# single node; SIGKILL one shard and require typed degradation (partial
+# result on streams, hard failure on counts); clean SIGTERM drain.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Wire-protocol streaming throughput (loopback server + client).
 bench-wire:

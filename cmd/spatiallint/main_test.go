@@ -54,12 +54,12 @@ func TestListRules(t *testing.T) {
 func TestDumpCFG(t *testing.T) {
 	var status int
 	out := capture(t, func() {
-		status = dumpCFG(repoRoot, "Grid.colOf", []string{"./internal/sjoin"})
+		status = dumpCFG(repoRoot, "Grid.ColOf", []string{"./internal/sjoin"})
 	})
 	if status != 0 {
 		t.Fatalf("dumpCFG status %d", status)
 	}
-	for _, want := range []string{"digraph", "Grid.colOf", "entry", "exit", "->"} {
+	for _, want := range []string{"digraph", "Grid.ColOf", "entry", "exit", "->"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-cfg-debug output missing %q:\n%s", want, out)
 		}

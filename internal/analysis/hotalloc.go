@@ -51,9 +51,12 @@ var hotSeeds = map[string][]string{
 	"internal/rtree": {
 		"Tree.Search", "Tree.SearchCounted", "Tree.SearchWithinDist", "Tree.SearchWithinDistCounted",
 	},
-	"internal/pager":   {"Mem.Pin", "Store.pin", "appendWALRecord"},
-	"internal/storage": {"Heap.fetchLocked", "Table.FetchColumn"},
-	"internal/wire":    {"WriteFrame", "AppendBatch"},
+	"internal/pager": {"Mem.Pin", "Store.pin", "appendWALRecord"},
+	// The coordinator's merge loop; the remote fetch itself is excluded
+	// because wire decoding allocates its row batches by design.
+	"internal/cluster":                        {"gatherCursor.Next"},
+	"internal/storage":                        {"Heap.fetchLocked", "Table.FetchColumn"},
+	"internal/wire":                           {"WriteFrame", "AppendBatch"},
 	"internal/analysis/testdata/src/hotalloc": {"SeededScan"},
 }
 

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialtf/internal/datagen"
+)
+
+// BenchmarkClusterJoinScatter measures one scatter-gather spatial join
+// end to end — scoped open on every shard, shard-side grid join over
+// the replicated slices, merge through the parallel table function —
+// at 1 shard (the network-overhead floor) and 3 shards (the scale-out
+// case the cluster exists for).
+func BenchmarkClusterJoinScatter(b *testing.B) {
+	const joinSQL = "SELECT key1, key2 FROM TABLE(spatial_join('bl','geom','br','geom','distance=3','keys=id:id'))"
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			co, _ := bootCluster(b, n, 6, Options{})
+			sess := co.NewSession()
+			mustExec(b, sess, datasetSQL("bl", datagen.Counties(300, 21))...)
+			mustExec(b, sess, datasetSQL("br", datagen.Stars(300, 22))...)
+			want, err := runSorted(sess, joinSQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(want) == 0 {
+				b.Fatal("join benchmark matched zero pairs")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := runSorted(sess, joinSQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(want) {
+					b.Fatalf("iteration returned %d pairs, want %d", len(rows), len(want))
+				}
+			}
+			b.ReportMetric(float64(len(want)), "pairs")
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShardError wraps a failure talking to one shard with its identity, so
+// callers can tell which node misbehaved and errors.Is/As still reach
+// the transport cause.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// PartialError reports a scatter query that completed with some shards
+// lost. It is returned (never silently swallowed) at end of stream when
+// the coordinator runs with OnShardLoss "partial": the rows delivered
+// before it are correct but the overall result is incomplete.
+type PartialError struct {
+	Failed []*ShardError
+}
+
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: partial result, %d shard(s) lost:", len(e.Failed))
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, " [%v]", f)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual shard failures to errors.Is/As.
+func (e *PartialError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialtf/internal/telemetry"
+	"spatialtf/internal/wire"
+)
+
+// maxShardPoints bounds the aggregated snapshot well under the wire
+// codec's metrics-frame entry cap.
+const maxShardPoints = 3500
+
+// MetricsSnapshot scrapes every reachable shard's metrics and returns
+// the cluster view: each shard's series prefixed "shardN_", plus a
+// "cluster_"-prefixed rollup per series name — counters and gauges
+// summed, histograms with identical bucket bounds merged. Unreachable
+// shards are skipped (a metrics scrape must not fail because one node
+// is down); a "shard_up" gauge per shard says who answered.
+func (c *Coordinator) MetricsSnapshot() []telemetry.Point {
+	type rollup struct {
+		p  telemetry.Point
+		ok bool // false when histogram bounds conflicted
+	}
+	var out []telemetry.Point
+	rollups := make(map[string]*rollup)
+	var order []string
+	for shard := range c.m.Shards {
+		up := 0.0
+		pts, err := c.shardMetrics(shard)
+		if err == nil {
+			up = 1.0
+		}
+		out = append(out, telemetry.Point{
+			Name: fmt.Sprintf("shard%d_up", shard),
+			Help: "whether the shard answered the metrics scrape",
+			Kind: telemetry.KindGauge, Value: up,
+		})
+		for _, p := range pts {
+			if len(out) >= maxShardPoints {
+				break
+			}
+			shardPt := p
+			shardPt.Name = fmt.Sprintf("shard%d_%s", shard, p.Name)
+			out = append(out, shardPt)
+			r, ok := rollups[p.Name]
+			if !ok {
+				cp := p
+				cp.Name = "cluster_" + p.Name
+				cp.Bounds = append([]float64(nil), p.Bounds...)
+				cp.Counts = append([]int64(nil), p.Counts...)
+				rollups[p.Name] = &rollup{p: cp, ok: true}
+				order = append(order, p.Name)
+				continue
+			}
+			if !r.ok || r.p.Kind != p.Kind {
+				r.ok = false
+				continue
+			}
+			switch p.Kind {
+			case telemetry.KindHistogram:
+				if !sameBounds(r.p.Bounds, p.Bounds) || len(r.p.Counts) != len(p.Counts) {
+					r.ok = false
+					continue
+				}
+				for i := range p.Counts {
+					r.p.Counts[i] += p.Counts[i]
+				}
+				r.p.Sum += p.Sum
+				r.p.Count += p.Count
+			default:
+				r.p.Value += p.Value
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		if len(out) >= maxShardPoints {
+			break
+		}
+		if r := rollups[name]; r.ok {
+			out = append(out, r.p)
+		}
+	}
+	return out
+}
+
+// shardMetrics scrapes one shard (no retries: a scrape is periodic,
+// the next one will see the node again).
+func (c *Coordinator) shardMetrics(shard int) ([]telemetry.Point, error) {
+	cl, err := c.client(shard)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := cl.Metrics()
+	if err != nil {
+		if _, remote := err.(*wire.RemoteError); !remote {
+			c.dropClient(shard)
+		}
+		return nil, err
+	}
+	return pts, nil
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bit equality on purpose: histograms merge only when the bucket
+		// layouts are byte-identical, not merely within an epsilon.
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -76,13 +76,54 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves the wire protocol over a shared database.
+// Backend supplies the server's statement execution: one Session per
+// connection. The stock backend wraps a *spatialtf.DB (see New); the
+// cluster router wraps a coordinator instead, so the same front end —
+// limits, cursor accounting, drain — serves both a single node and a
+// whole shard cluster.
+type Backend interface {
+	// NewSession returns the execution session of one connection.
+	NewSession() Session
+}
+
+// Session executes statements for one connection. Sessions are used by
+// a single goroutine (the protocol is strict request/response).
+type Session interface {
+	// ExecuteStream parses and runs one statement, streaming SELECT row
+	// sources (see sqlmini.ExecuteStream).
+	ExecuteStream(sql string) (*sqlmini.Stream, error)
+	// Close releases session resources when the connection ends.
+	Close() error
+}
+
+// ScopedSession is implemented by sessions that can evaluate a query
+// under a cluster scope (the shard side of scatter-gather routing). A
+// FrameScopedQuery against a session without this interface reports an
+// error.
+type ScopedSession interface {
+	ExecuteStreamScoped(sql string, sc wire.Scope) (*sqlmini.Stream, error)
+}
+
+// GeomCacheStatser is implemented by backends that expose a decoded-
+// geometry cache; its numbers fill the cache fields of the Stats frame.
+type GeomCacheStatser interface {
+	GeomCacheStats() spatialtf.CacheStats
+}
+
+// MetricsSnapshotter is implemented by backends with metrics beyond the
+// server registry (the cluster router aggregates per-shard series);
+// its points are appended to the Metrics frame reply.
+type MetricsSnapshotter interface {
+	MetricsSnapshot() []telemetry.Point
+}
+
+// Server serves the wire protocol over a Backend.
 type Server struct {
-	db     *spatialtf.DB
-	cfg    Config
-	reg    *telemetry.Registry
-	stats  *Stats
-	tracer *telemetry.Tracer
+	backend Backend
+	cfg     Config
+	reg     *telemetry.Registry
+	stats   *Stats
+	tracer  *telemetry.Tracer
 
 	mu         sync.Mutex
 	ln         net.Listener
@@ -96,8 +137,41 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
+// dbBackend is the stock backend: sqlmini engines over one shared
+// database.
+type dbBackend struct{ db *spatialtf.DB }
+
+func (b dbBackend) NewSession() Session { return dbSession{eng: sqlmini.NewEngineOn(b.db)} }
+
+func (b dbBackend) GeomCacheStats() spatialtf.CacheStats { return b.db.GeomCacheStats() }
+
+// dbSession adapts a sqlmini engine to the Session interface, including
+// the shard-side scoped execution path.
+type dbSession struct{ eng *sqlmini.Engine }
+
+func (s dbSession) ExecuteStream(sql string) (*sqlmini.Stream, error) {
+	return s.eng.ExecuteStream(sql)
+}
+
+func (s dbSession) ExecuteStreamScoped(sql string, sc wire.Scope) (*sqlmini.Stream, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	scope := spatialtf.NewClusterScope(
+		spatialtf.MBR{MinX: sc.MinX, MinY: sc.MinY, MaxX: sc.MaxX, MaxY: sc.MaxY},
+		sc.Cols, sc.Rows, sc.NShards, sc.Shard)
+	return s.eng.ExecuteStreamScoped(sql, scope)
+}
+
+func (s dbSession) Close() error { return nil }
+
 // New returns a server over db.
 func New(db *spatialtf.DB, cfg Config) *Server {
+	return NewWith(dbBackend{db: db}, cfg)
+}
+
+// NewWith returns a server over an arbitrary backend.
+func NewWith(backend Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Telemetry
 	if reg == nil {
@@ -111,7 +185,7 @@ func New(db *spatialtf.DB, cfg Config) *Server {
 		thr = -1
 	}
 	return &Server{
-		db:      db,
+		backend: backend,
 		cfg:     cfg,
 		reg:     reg,
 		stats:   newStats(reg),
@@ -282,6 +356,12 @@ type serverCursor struct {
 	cur      storage.Cursor
 	streamed int64
 	deadline time.Time // zero = no limit
+	// pendingErr defers a cursor error that arrived mid-batch: the rows
+	// already assembled are delivered first, and the error answers the
+	// NEXT fetch, so an error late in a stream cannot swallow results
+	// the engine already produced (a cluster partial-result error is the
+	// canonical case).
+	pendingErr error
 	// trace spans the cursor's lifetime — query to final fetch — and
 	// feeds the slow log when it outlives the threshold.
 	trace *telemetry.Trace
@@ -293,7 +373,7 @@ type serverCursor struct {
 type conn struct {
 	srv         *Server
 	nc          net.Conn
-	eng         *sqlmini.Engine
+	sess        Session
 	cursors     map[uint64]*serverCursor
 	nextCursor  uint64
 	cursorCount atomic.Int64
@@ -306,13 +386,14 @@ func (c *conn) serve() {
 			c.srv.stats.CursorsOpen.Add(-1)
 		}
 		c.cursorCount.Store(0)
+		c.sess.Close()
 		c.nc.Close()
 		c.srv.mu.Lock()
 		delete(c.srv.conns, c)
 		c.srv.mu.Unlock()
 		c.srv.stats.ConnsActive.Add(-1)
 	}()
-	c.eng = sqlmini.NewEngineOn(c.srv.db)
+	c.sess = c.srv.backend.NewSession()
 	c.cursors = make(map[uint64]*serverCursor)
 	bw := bufio.NewWriter(c.nc)
 	br := bufio.NewReader(c.nc)
@@ -335,6 +416,8 @@ func (c *conn) serve() {
 		switch t {
 		case wire.FrameQuery:
 			reply = c.handleQuery(bw, payload)
+		case wire.FrameScopedQuery:
+			reply = c.handleScopedQuery(bw, payload)
 		case wire.FrameFetch:
 			reply = c.handleFetch(bw, payload)
 		case wire.FrameCloseCursor:
@@ -342,16 +425,22 @@ func (c *conn) serve() {
 		case wire.FrameStats:
 			reply = func() error {
 				snap := c.srv.stats.Snapshot()
-				cs := c.srv.db.GeomCacheStats()
-				snap.GeomCacheHits, snap.GeomCacheMisses = cs.Hits, cs.Misses
-				snap.GeomCacheBytes, snap.GeomCacheEntries = cs.Bytes, cs.Entries
+				if gc, ok := c.srv.backend.(GeomCacheStatser); ok {
+					cs := gc.GeomCacheStats()
+					snap.GeomCacheHits, snap.GeomCacheMisses = cs.Hits, cs.Misses
+					snap.GeomCacheBytes, snap.GeomCacheEntries = cs.Bytes, cs.Entries
+				}
 				return wire.WriteFrame(bw, wire.FrameStatsReply,
 					wire.AppendStats(nil, snap))
 			}
 		case wire.FrameMetricsReq:
 			reply = func() error {
+				points := c.srv.reg.Snapshot()
+				if ms, ok := c.srv.backend.(MetricsSnapshotter); ok {
+					points = append(points, ms.MetricsSnapshot()...)
+				}
 				return wire.WriteFrame(bw, wire.FrameMetricsReply,
-					wire.AppendMetrics(nil, c.srv.reg.Snapshot()))
+					wire.AppendMetrics(nil, points))
 			}
 		default:
 			reply = c.sendError(bw, fmt.Sprintf("unknown frame type 0x%02x", byte(t)))
@@ -374,11 +463,33 @@ func (c *conn) handleQuery(bw *bufio.Writer, payload []byte) func() error {
 	if err != nil {
 		return c.sendError(bw, err.Error())
 	}
+	return c.runQuery(bw, sql, func() (*sqlmini.Stream, error) {
+		return c.sess.ExecuteStream(sql)
+	})
+}
+
+func (c *conn) handleScopedQuery(bw *bufio.Writer, payload []byte) func() error {
+	sc, sql, err := wire.ParseScopedQuery(payload)
+	if err != nil {
+		return c.sendError(bw, err.Error())
+	}
+	ss, ok := c.sess.(ScopedSession)
+	if !ok {
+		return c.sendError(bw, "this server does not support scoped queries")
+	}
+	return c.runQuery(bw, sql, func() (*sqlmini.Stream, error) {
+		return ss.ExecuteStreamScoped(sql, sc)
+	})
+}
+
+// runQuery executes one statement through exec and replies with either
+// an immediate result or a new cursor.
+func (c *conn) runQuery(bw *bufio.Writer, sql string, exec func() (*sqlmini.Stream, error)) func() error {
 	if c.srv.inShutdown.Load() {
 		return c.sendError(bw, "server is shutting down")
 	}
 	c.srv.stats.Queries.Add(1)
-	stream, err := c.eng.ExecuteStream(sql)
+	stream, err := exec()
 	if err != nil {
 		return c.sendError(bw, err.Error())
 	}
@@ -454,15 +565,24 @@ func (c *conn) handleFetch(bw *bufio.Writer, payload []byte) func() error {
 	if batch > c.srv.cfg.MaxBatch {
 		batch = c.srv.cfg.MaxBatch
 	}
+	if sc.pendingErr != nil {
+		err := sc.pendingErr
+		c.dropCursor(sc)
+		return c.sendError(bw, err.Error())
+	}
 	start := time.Now()
 	bb := batchPool.Get().(*batchBuf)
 	done := false
 	for len(bb.rows) < batch {
 		_, row, ok, err := sc.cur.Next()
 		if err != nil {
-			bb.release()
-			c.dropCursor(sc)
-			return c.sendError(bw, err.Error())
+			if len(bb.rows) == 0 {
+				bb.release()
+				c.dropCursor(sc)
+				return c.sendError(bw, err.Error())
+			}
+			sc.pendingErr = err
+			break
 		}
 		if !ok {
 			done = true

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"spatialtf"
+	"spatialtf/internal/sqlmini"
+	"spatialtf/internal/storage"
 	"spatialtf/internal/wire"
 )
 
@@ -543,4 +545,173 @@ func TestServerConcurrentQueriesAndDML(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	writerWg.Wait()
+}
+
+// TestServerShutdownMultiClientDrain shuts down under three clients
+// with open cursors, one of which drops its connection mid-stream: the
+// survivors drain to completion, the dead connection's cursor is
+// reaped, and the server ends with zero connections and zero cursors.
+func TestServerShutdownMultiClientDrain(t *testing.T) {
+	db := newTestDB(t, 96)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{DefaultBatch: 8})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	const clients = 3
+	clis := make([]*wire.Client, clients)
+	curs := make([]*wire.Cursor, clients)
+	for i := range clis {
+		cli, err := wire.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cli.Query(joinSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := res.Cursor.Fetch(0); err != nil {
+			t.Fatal(err)
+		}
+		clis[i], curs[i] = cli, res.Cursor
+	}
+
+	// Client 2 vanishes mid-stream without closing its cursor: the
+	// server must reap the cursor with the connection, not leak it into
+	// the drain accounting.
+	clis[2].Close()
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !srv.inShutdown.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown flag never set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The surviving clients drain their cursors to completion while the
+	// server waits.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := 0
+			for {
+				rows, done, err := curs[i].Fetch(0)
+				if err != nil {
+					t.Errorf("client %d drain: %v", i, err)
+					return
+				}
+				n += len(rows)
+				if done {
+					break
+				}
+			}
+			if n == 0 {
+				t.Errorf("client %d drained no rows", i)
+			}
+			clis[i].Close()
+		}(i)
+	}
+	wg.Wait()
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown with draining clients returned %v", err)
+	}
+	if err := <-serveErr; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	s := srv.Stats().Snapshot()
+	if s.ConnsActive != 0 {
+		t.Errorf("%d connections still accounted active after shutdown", s.ConnsActive)
+	}
+	if s.CursorsOpen != 0 {
+		t.Errorf("%d cursors still accounted open after shutdown (mid-stream disconnect leaked)", s.CursorsOpen)
+	}
+}
+
+// errAfterCursor yields n rows, then fails.
+type errAfterCursor struct {
+	n, emitted int
+}
+
+func (c *errAfterCursor) Next() (storage.RowID, storage.Row, bool, error) {
+	if c.emitted >= c.n {
+		return storage.InvalidRowID, nil, false, fmt.Errorf("backend exploded after %d rows", c.n)
+	}
+	c.emitted++
+	return storage.InvalidRowID, storage.Row{storage.Int(int64(c.emitted))}, true, nil
+}
+
+func (c *errAfterCursor) Close() error { return nil }
+
+type errAfterBackend struct{ n int }
+
+func (b errAfterBackend) NewSession() Session { return errAfterSession{n: b.n} }
+
+type errAfterSession struct{ n int }
+
+func (s errAfterSession) Close() error { return nil }
+
+func (s errAfterSession) ExecuteStream(sql string) (*sqlmini.Stream, error) {
+	return &sqlmini.Stream{
+		Schema: []storage.Column{{Name: "id", Type: storage.TInt64}},
+		Cursor: &errAfterCursor{n: s.n},
+	}, nil
+}
+
+// TestServerDeliversRowsBeforeCursorError pins the deferred-error
+// contract: when a cursor fails mid-batch, the rows already assembled
+// are delivered first and the error answers the next fetch — a late
+// stream error (a cluster partial result, say) must not swallow
+// results the engine already produced.
+func TestServerDeliversRowsBeforeCursorError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(errAfterBackend{n: 7}, Config{})
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-errc
+	}()
+
+	cli, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Query("SELECT id FROM whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch far larger than the row count forces the error to arrive
+	// mid-assembly.
+	rows, done, err := res.Cursor.Fetch(100)
+	if err != nil || done {
+		t.Fatalf("first fetch: rows=%d done=%v err=%v, want the 7 pre-error rows", len(rows), done, err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("first fetch delivered %d rows, want 7", len(rows))
+	}
+	if _, _, err := res.Cursor.Fetch(100); err == nil || !strings.Contains(err.Error(), "backend exploded") {
+		t.Fatalf("second fetch: err=%v, want the deferred cursor error", err)
+	}
+	// The errored cursor is reaped server-side.
+	if n := srv.Stats().CursorsOpen.Value(); n != 0 {
+		t.Fatalf("%d cursors still open after deferred error", n)
+	}
 }

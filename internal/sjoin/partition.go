@@ -78,12 +78,14 @@ func NewGrid(bounds geom.MBR, cols, rows int) Grid {
 	}
 }
 
-// colOf returns the column containing x, clamped to the grid. Tiles are
+// ColOf returns the column containing x, clamped to the grid. Tiles are
 // half-open ([lo, hi)) so every coordinate maps to exactly one tile;
 // clamping keeps the class algebra consistent for coordinates at or
 // beyond the boundary (everything left of the grid "starts" in
-// column 0, everything right of it in the last column).
-func (g Grid) colOf(x float64) int {
+// column 0, everything right of it in the last column). The clamping
+// also makes ColOf/RowOf a total ownership function over the plane,
+// which is what the cluster layer shards reference points by.
+func (g Grid) ColOf(x float64) int {
 	if g.cellW <= 0 {
 		return 0
 	}
@@ -97,8 +99,8 @@ func (g Grid) colOf(x float64) int {
 	return c
 }
 
-// rowOf returns the row containing y, clamped to the grid.
-func (g Grid) rowOf(y float64) int {
+// RowOf returns the row containing y, clamped to the grid.
+func (g Grid) RowOf(y float64) int {
 	if g.cellH <= 0 {
 		return 0
 	}
@@ -191,10 +193,10 @@ func (gs *gridState) claim() int {
 // first side); the stored coordinates stay unexpanded.
 func assignGrid(dense []gridTile, g Grid, items []rtree.Item, expand float64, sideA bool) {
 	for _, it := range items {
-		c0 := g.colOf(it.MBR.MinX - expand)
-		c1 := g.colOf(it.MBR.MaxX + expand)
-		r0 := g.rowOf(it.MBR.MinY - expand)
-		r1 := g.rowOf(it.MBR.MaxY + expand)
+		c0 := g.ColOf(it.MBR.MinX - expand)
+		c1 := g.ColOf(it.MBR.MaxX + expand)
+		r0 := g.RowOf(it.MBR.MinY - expand)
+		r1 := g.RowOf(it.MBR.MaxY + expand)
 		e := tileEntry{
 			xlo: it.MBR.MinX, ylo: it.MBR.MinY,
 			xhi: it.MBR.MaxX, yhi: it.MBR.MaxY,

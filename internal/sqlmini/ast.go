@@ -79,6 +79,11 @@ type SpatialJoinCall struct {
 	// model, "nested"/"subtree"/"grid" force a join path. Empty keeps
 	// the default Parallel-driven dispatch.
 	Algo string
+	// KeyA/KeyB are the optional 'keys=colA:colB' hint: the join then
+	// exposes key1/key2 columns carrying those user columns' values
+	// instead of the storage rowids. A cluster join needs this —
+	// rowids are shard-local addresses, user keys are not.
+	KeyA, KeyB string
 }
 
 // Predicate is one spatial operator in the WHERE clause:

@@ -422,24 +422,24 @@ func (e *Engine) execJoinSelect(s Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Validate projection: only rid1/rid2 (or *) exist on the join
-	// source.
-	wantCols := s.Columns
-	if s.Star || len(wantCols) == 0 {
-		wantCols = []string{"rid1", "rid2"}
-	}
-	for _, c := range wantCols {
-		if c != "rid1" && c != "rid2" {
-			return nil, fmt.Errorf("sqlmini: spatial_join exposes columns rid1, rid2; no %q", c)
-		}
+	// Validate projection: only rid1/rid2 (or key1/key2 under a 'keys='
+	// hint, or *) exist on the join source.
+	wantCols, keys, err := e.joinProjection(s, call)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{Columns: wantCols}
 	for _, p := range pairs {
 		row := make([]string, len(wantCols))
 		for i, c := range wantCols {
-			if c == "rid1" {
+			switch {
+			case keys != nil:
+				if row[i], err = keys.render(p, c); err != nil {
+					return nil, err
+				}
+			case c == "rid1":
 				row[i] = p.A.String()
-			} else {
+			default:
 				row[i] = p.B.String()
 			}
 		}

@@ -441,8 +441,8 @@ func (p *parser) spatialJoinCall() (*SpatialJoinCall, error) {
 }
 
 func buildJoinCall(args []string, parallel int) (*SpatialJoinCall, error) {
-	if len(args) != 5 && len(args) != 6 {
-		return nil, fmt.Errorf("sqlmini: spatial_join expects 5 or 6 string arguments, got %d", len(args))
+	if len(args) < 5 || len(args) > 7 {
+		return nil, fmt.Errorf("sqlmini: spatial_join expects 5 to 7 string arguments, got %d", len(args))
 	}
 	call := &SpatialJoinCall{
 		TableA: strings.ToLower(args[0]), ColumnA: strings.ToLower(args[1]),
@@ -460,16 +460,31 @@ func buildJoinCall(args []string, parallel int) (*SpatialJoinCall, error) {
 	} else {
 		call.Mask = spec
 	}
-	if len(args) == 6 {
-		hint := strings.ToLower(strings.TrimSpace(args[5]))
-		if !strings.HasPrefix(hint, "algo=") {
-			return nil, fmt.Errorf("sqlmini: sixth spatial_join argument must be an 'algo=...' hint, got %q", args[5])
-		}
-		call.Algo = strings.TrimPrefix(hint, "algo=")
-		switch call.Algo {
-		case "auto", "nested", "subtree", "grid":
+	// Optional hints, in any order: 'algo=...' and 'keys=colA:colB'.
+	for _, raw := range args[5:] {
+		hint := strings.ToLower(strings.TrimSpace(raw))
+		switch {
+		case strings.HasPrefix(hint, "algo="):
+			if call.Algo != "" {
+				return nil, fmt.Errorf("sqlmini: duplicate 'algo=' hint")
+			}
+			call.Algo = strings.TrimPrefix(hint, "algo=")
+			switch call.Algo {
+			case "auto", "nested", "subtree", "grid":
+			default:
+				return nil, fmt.Errorf("sqlmini: unknown join algorithm %q (want auto, nested, subtree, or grid)", call.Algo)
+			}
+		case strings.HasPrefix(hint, "keys="):
+			if call.KeyA != "" {
+				return nil, fmt.Errorf("sqlmini: duplicate 'keys=' hint")
+			}
+			a, b, ok := strings.Cut(strings.TrimPrefix(hint, "keys="), ":")
+			if !ok || a == "" || b == "" {
+				return nil, fmt.Errorf("sqlmini: 'keys=' hint wants keys=colA:colB, got %q", raw)
+			}
+			call.KeyA, call.KeyB = a, b
 		default:
-			return nil, fmt.Errorf("sqlmini: unknown join algorithm %q (want auto, nested, subtree, or grid)", call.Algo)
+			return nil, fmt.Errorf("sqlmini: spatial_join hint must be 'algo=...' or 'keys=...', got %q", raw)
 		}
 	}
 	return call, nil

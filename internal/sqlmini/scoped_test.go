@@ -1,0 +1,192 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"spatialtf"
+	"spatialtf/internal/datagen"
+	"spatialtf/internal/geom"
+)
+
+// --- keys= hint ---
+
+func TestJoinKeysHint(t *testing.T) {
+	e := setupCitiesRivers(t)
+	r := exec(t, e, "SELECT key1, key2 FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=name:name'))")
+	if len(r.Columns) != 2 || r.Columns[0] != "key1" || r.Columns[1] != "key2" {
+		t.Fatalf("keys projection columns: %v", r.Columns)
+	}
+	found := false
+	for _, row := range r.Rows {
+		if row[0] == "springfield" && row[1] == "long_river" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("keys hint did not surface user keys: %v", r.Rows)
+	}
+	// Star and count work through the hint too.
+	r = exec(t, e, "SELECT * FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=id:id'))")
+	if len(r.Columns) != 2 || r.Columns[0] != "key1" {
+		t.Fatalf("star with keys hint: %v", r.Columns)
+	}
+	// The rid columns no longer exist under a keys hint, and vice versa.
+	execErr(t, e, "SELECT rid1 FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=id:id'))")
+	execErr(t, e, "SELECT key1 FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract'))")
+}
+
+func TestJoinKeysHintErrors(t *testing.T) {
+	e := setupCitiesRivers(t)
+	for _, sql := range []string{
+		// Malformed hint values.
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=id'))",
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=:id'))",
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=id:'))",
+		// Duplicate hints.
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=id:id','keys=name:name'))",
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','algo=grid','algo=nested'))",
+		// Unknown hint.
+		"SELECT count(*) FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','mystery=1'))",
+		// Key column that does not exist.
+		"SELECT key1 FROM TABLE(spatial_join('cities','geom','rivers','geom','anyinteract','keys=nope:id'))",
+	} {
+		execErr(t, e, sql)
+	}
+}
+
+// --- scoped execution ---
+
+// scopedEngine builds an engine with an indexed spatial table of n
+// counties.
+func scopedEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := NewEngine()
+	exec(t, e, "CREATE TABLE sc (id INT, name VARCHAR, geom GEOMETRY)")
+	exec(t, e, "CREATE INDEX sc_idx ON sc(geom) INDEXTYPE IS RTREE")
+	for i, g := range datagen.Counties(n, 31).Geoms {
+		exec(t, e, fmt.Sprintf("INSERT INTO sc VALUES (%d, 'sc-%d', '%s')", i, i, geom.MarshalWKT(g)))
+	}
+	return e
+}
+
+// drainScoped collects a scoped statement's rows as sorted lines.
+func drainScoped(t *testing.T, e *Engine, sql string, scope *spatialtf.ClusterScope) []string {
+	t.Helper()
+	st, err := e.ExecuteStreamScoped(sql, scope)
+	if err != nil {
+		t.Fatalf("scoped %q: %v", sql, err)
+	}
+	if st.Result != nil {
+		var out []string
+		for _, row := range st.Result.Rows {
+			out = append(out, strings.Join(row, "|"))
+		}
+		sort.Strings(out)
+		return out
+	}
+	var out []string
+	for {
+		_, row, ok, err := st.Cursor.Next()
+		if err != nil {
+			t.Fatalf("scoped %q next: %v", sql, err)
+		}
+		if !ok {
+			break
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out = append(out, strings.Join(cells, "|"))
+	}
+	if err := st.Cursor.Close(); err != nil {
+		t.Fatalf("scoped %q close: %v", sql, err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestScopedPartition is the shard-side half of the cluster's
+// exactly-once guarantee, without the network: for every query form,
+// the union of all shards' scoped results equals the unscoped result
+// and the per-shard results are disjoint. (The in-process engine holds
+// every row, which over-approximates what a shard replica holds — the
+// ownership filter must still yield each result exactly once.)
+func TestScopedPartition(t *testing.T) {
+	e := scopedEngine(t, 80)
+	world := spatialtf.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	const nShards = 3
+	queries := []string{
+		"SELECT id FROM sc",
+		"SELECT count(*) FROM sc",
+		"SELECT id, name FROM sc WHERE sdo_relate(geom, 'POLYGON ((100 100, 700 100, 700 600, 100 600, 100 100))', 'mask=anyinteract') = 'TRUE'",
+		"SELECT id FROM sc WHERE sdo_within_distance(geom, 'POINT (500 500)', 'distance=80') = 'TRUE'",
+		"SELECT count(*) FROM sc WHERE sdo_within_distance(geom, 'POINT (500 500)', 'distance=80')",
+		"SELECT key1, key2 FROM TABLE(spatial_join('sc','geom','sc','geom','distance=4','keys=id:id'))",
+		"SELECT count(*) FROM TABLE(spatial_join('sc','geom','sc','geom','anyinteract'))",
+	}
+	for _, q := range queries {
+		want := drainScoped(t, e, q, nil) // nil scope = unscoped
+		isCount := strings.Contains(q, "count(*)")
+		var union []string
+		total := 0
+		for shard := 0; shard < nShards; shard++ {
+			scope := spatialtf.NewClusterScope(world, 4, 4, nShards, shard)
+			part := drainScoped(t, e, q, scope)
+			if isCount {
+				var n int
+				fmt.Sscanf(part[0], "%d", &n)
+				total += n
+				continue
+			}
+			union = append(union, part...)
+		}
+		if isCount {
+			var wantN int
+			fmt.Sscanf(want[0], "%d", &wantN)
+			if total != wantN {
+				t.Errorf("%q: scoped counts sum to %d, unscoped %d", q, total, wantN)
+			}
+			continue
+		}
+		sort.Strings(union)
+		if len(union) != len(want) {
+			t.Errorf("%q: union of %d scoped rows, unscoped %d (duplicate or lost results)", q, len(union), len(want))
+			continue
+		}
+		for i := range want {
+			if union[i] != want[i] {
+				t.Errorf("%q: row %d differs: scoped union %q, unscoped %q", q, i, union[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestScopedRejections(t *testing.T) {
+	e := scopedEngine(t, 10)
+	world := spatialtf.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	scope := spatialtf.NewClusterScope(world, 4, 4, 2, 0)
+	// Non-SELECT statements cannot be scoped.
+	if _, err := e.ExecuteStreamScoped("INSERT INTO sc VALUES (99, 'x', 'POINT (1 1)')", scope); err == nil {
+		t.Error("scoped INSERT accepted")
+	}
+	// sdo_nn is not spatially decomposable.
+	if _, err := e.ExecuteStreamScoped("SELECT id FROM sc WHERE sdo_nn(geom, 'POINT (1 1)', 'k=3') = 'TRUE'", scope); err == nil {
+		t.Error("scoped sdo_nn accepted")
+	}
+	// A table without geometry cannot be sharded.
+	exec(t, e, "CREATE TABLE plain (id INT, name VARCHAR)")
+	exec(t, e, "INSERT INTO plain VALUES (1, 'a')")
+	if _, err := e.ExecuteStreamScoped("SELECT id FROM plain", scope); err == nil {
+		t.Error("scoped scan of a geometry-less table accepted")
+	}
+	// A nil scope falls back to plain execution.
+	st, err := e.ExecuteStreamScoped("SELECT count(*) FROM sc", nil)
+	if err != nil || st.Result == nil || st.Result.Count != 10 {
+		t.Errorf("nil scope fallback: st=%+v err=%v", st, err)
+	}
+}

@@ -89,20 +89,20 @@ func (e *Engine) streamTableSelect(s Select) (*Stream, error) {
 
 // streamJoinSelect builds a cursor over TABLE(spatial_join(...)). The
 // rid1/rid2 rowids are projected as their page.slot text form, matching
-// the local REPL rendering.
+// the local REPL rendering; with a 'keys=' hint the key1/key2 user-key
+// columns are projected instead.
 func (e *Engine) streamJoinSelect(s Select) (*Stream, error) {
+	return e.streamJoinSelectScoped(s, nil)
+}
+
+func (e *Engine) streamJoinSelectScoped(s Select, scope *spatialtf.ClusterScope) (*Stream, error) {
 	call := s.From.Join
 	if s.Where != nil {
 		return nil, fmt.Errorf("sqlmini: WHERE on a spatial_join row source is not supported")
 	}
-	wantCols := s.Columns
-	if s.Star || len(wantCols) == 0 {
-		wantCols = []string{"rid1", "rid2"}
-	}
-	for _, c := range wantCols {
-		if c != "rid1" && c != "rid2" {
-			return nil, fmt.Errorf("sqlmini: spatial_join exposes columns rid1, rid2; no %q", c)
-		}
+	wantCols, keys, err := e.joinProjection(s, call)
+	if err != nil {
+		return nil, err
 	}
 	idxA, err := e.indexFor(call.TableA, call.ColumnA, spatialtf.RTree)
 	if err != nil {
@@ -117,6 +117,7 @@ func (e *Engine) streamJoinSelect(s Select) (*Stream, error) {
 		Distance: call.Distance,
 		Parallel: call.Parallel,
 		Algo:     call.Algo,
+		Scope:    scope,
 	})
 	if err != nil {
 		return nil, err
@@ -127,8 +128,68 @@ func (e *Engine) streamJoinSelect(s Select) (*Stream, error) {
 	}
 	return &Stream{
 		Schema: outSchema,
-		Cursor: &joinCursorAdapter{jc: cur, cols: wantCols},
+		Cursor: &joinCursorAdapter{jc: cur, cols: wantCols, keys: keys},
 	}, nil
+}
+
+// joinKeys resolves a 'keys=colA:colB' hint: the user-key columns the
+// key1/key2 projection fetches through.
+type joinKeys struct {
+	tabA, tabB *spatialtf.Table
+	colA, colB int
+}
+
+// render fetches the key value of one pair side as its display string.
+func (k *joinKeys) render(p spatialtf.Pair, col string) (string, error) {
+	var v spatialtf.Value
+	var err error
+	if col == "key1" {
+		v, err = k.tabA.Inner().FetchColumn(p.A, k.colA)
+	} else {
+		v, err = k.tabB.Inner().FetchColumn(p.B, k.colB)
+	}
+	if err != nil {
+		return "", err
+	}
+	return v.String(), nil
+}
+
+// joinProjection validates the projected columns of a spatial_join
+// SELECT and resolves the key fetcher when the call carries a 'keys='
+// hint (the projection is then key1/key2 instead of rid1/rid2).
+func (e *Engine) joinProjection(s Select, call *SpatialJoinCall) ([]string, *joinKeys, error) {
+	var keys *joinKeys
+	def := []string{"rid1", "rid2"}
+	if call.KeyA != "" {
+		def = []string{"key1", "key2"}
+		tabA, err := e.db.Table(call.TableA)
+		if err != nil {
+			return nil, nil, err
+		}
+		tabB, err := e.db.Table(call.TableB)
+		if err != nil {
+			return nil, nil, err
+		}
+		colA, err := tabA.Inner().ColumnIndex(call.KeyA)
+		if err != nil {
+			return nil, nil, err
+		}
+		colB, err := tabB.Inner().ColumnIndex(call.KeyB)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys = &joinKeys{tabA: tabA, tabB: tabB, colA: colA, colB: colB}
+	}
+	wantCols := s.Columns
+	if s.Star || len(wantCols) == 0 {
+		wantCols = def
+	}
+	for _, c := range wantCols {
+		if c != def[0] && c != def[1] {
+			return nil, nil, fmt.Errorf("sqlmini: this spatial_join exposes columns %s, %s; no %q", def[0], def[1], c)
+		}
+	}
+	return wantCols, keys, nil
 }
 
 // projectCursor narrows a row cursor to the projected columns.
@@ -183,10 +244,11 @@ func (c *fetchCursor) Close() error {
 }
 
 // joinCursorAdapter renders a spatial-join pair stream as rows of the
-// projected rid columns.
+// projected rid (or, with a 'keys=' hint, user-key) columns.
 type joinCursorAdapter struct {
 	jc   *spatialtf.JoinCursor
 	cols []string
+	keys *joinKeys // nil when projecting rowids
 }
 
 func (c *joinCursorAdapter) Next() (storage.RowID, storage.Row, bool, error) {
@@ -196,9 +258,16 @@ func (c *joinCursorAdapter) Next() (storage.RowID, storage.Row, bool, error) {
 	}
 	out := make(storage.Row, len(c.cols))
 	for i, col := range c.cols {
-		if col == "rid1" {
+		switch {
+		case c.keys != nil:
+			s, err := c.keys.render(p, col)
+			if err != nil {
+				return storage.InvalidRowID, nil, false, err
+			}
+			out[i] = storage.Str(s)
+		case col == "rid1":
 			out[i] = storage.Str(p.A.String())
-		} else {
+		default:
 			out[i] = storage.Str(p.B.String())
 		}
 	}

@@ -44,6 +44,14 @@ const (
 	// join — the per-tile primary filter. The span count is the tile
 	// count, so the trace exposes per-tile skew directly.
 	StageTileSweep
+	// StageScatter is the cluster coordinator's fan-out: opening the
+	// per-shard remote cursors of one scatter-gather query. The span
+	// count is the shard count contacted.
+	StageScatter
+	// StageMerge is one merged-batch production in the coordinator's
+	// gather loop: pulling remote batches off the scatter instances and
+	// concatenating them into the client-facing stream.
+	StageMerge
 	// NumStages sizes per-stage arrays.
 	NumStages
 )
@@ -69,6 +77,10 @@ func (s Stage) String() string {
 		return "grid_partition"
 	case StageTileSweep:
 		return "tile_sweep"
+	case StageScatter:
+		return "scatter"
+	case StageMerge:
+		return "merge"
 	default:
 		return fmt.Sprintf("stage(%d)", uint8(s))
 	}

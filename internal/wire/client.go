@@ -6,10 +6,25 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"spatialtf/internal/storage"
 	"spatialtf/internal/telemetry"
 )
+
+// Options tunes a client connection. Zero values mean "no limit",
+// preserving the historical blocking behavior.
+type Options struct {
+	// DialTimeout bounds the TCP connect (and the handshake, which runs
+	// under the same deadline).
+	DialTimeout time.Duration
+	// ReadTimeout bounds each reply read: a request whose response does
+	// not arrive within it fails with a net timeout error instead of
+	// hanging on a dead or wedged server.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request write.
+	WriteTimeout time.Duration
+}
 
 // Client is a connection to a spatialtf query server. One client holds
 // one connection; requests are serialised (the protocol is strict
@@ -21,16 +36,22 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	opt  Options
 }
 
 // Dial connects to a server at addr ("host:port") and performs the
-// protocol handshake.
+// protocol handshake with no I/O deadlines.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, Options{})
+}
+
+// DialWith connects to a server at addr under the given I/O timeouts.
+func DialWith(addr string, opt Options) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opt.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewClient(conn)
+	c, err := NewClientWith(conn, opt)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -41,7 +62,25 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection, performing the handshake:
 // each side sends the protocol magic and verifies the peer's.
 func NewClient(conn net.Conn) (*Client, error) {
-	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	return NewClientWith(conn, Options{})
+}
+
+// NewClientWith wraps an established connection under the given I/O
+// timeouts. The handshake runs under DialTimeout (falling back to
+// ReadTimeout) so a peer that accepts but never answers cannot hang the
+// constructor.
+func NewClientWith(conn net.Conn, opt Options) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn), opt: opt}
+	hs := opt.DialTimeout
+	if hs <= 0 {
+		hs = opt.ReadTimeout
+	}
+	if hs > 0 {
+		if err := conn.SetDeadline(time.Now().Add(hs)); err != nil {
+			return nil, err
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
 	if err := WriteMagic(c.bw); err != nil {
 		return nil, err
 	}
@@ -78,11 +117,21 @@ func (e *RemoteError) Error() string { return "server: " + e.Msg }
 func (c *Client) roundTrip(t FrameType, payload []byte) (FrameType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.opt.WriteTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
 	if err := WriteFrame(c.bw, t, payload); err != nil {
 		return 0, nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return 0, nil, err
+	}
+	if c.opt.ReadTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout)); err != nil {
+			return 0, nil, err
+		}
 	}
 	rt, rp, err := ReadFrame(c.br)
 	if err != nil {
@@ -154,7 +203,19 @@ func (r *QueryResult) Format() string {
 // return a QueryResult holding an open Cursor; everything else returns
 // an immediate QueryResult.
 func (c *Client) Query(sql string) (*QueryResult, error) {
-	t, p, err := c.roundTrip(FrameQuery, AppendQuery(nil, sql))
+	return c.query(FrameQuery, AppendQuery(nil, sql))
+}
+
+// QueryScoped executes one SQL statement restricted to a cluster scope:
+// the server evaluates it as usual but keeps only rows/pairs whose
+// reference point falls in a grid tile owned by sc.Shard. Servers that
+// predate the frame answer with an "unknown frame type" RemoteError.
+func (c *Client) QueryScoped(sql string, sc Scope) (*QueryResult, error) {
+	return c.query(FrameScopedQuery, AppendScopedQuery(nil, sc, sql))
+}
+
+func (c *Client) query(ft FrameType, payload []byte) (*QueryResult, error) {
+	t, p, err := c.roundTrip(ft, payload)
 	if err != nil {
 		return nil, err
 	}

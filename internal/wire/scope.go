@@ -1,0 +1,87 @@
+package wire
+
+import "fmt"
+
+// FrameScopedQuery carries one SQL statement plus a cluster scope: the
+// grid geometry the coordinator shards by and which shard this server
+// is. The server executes the statement as usual but keeps only
+// rows/pairs whose reference point (A/B/C/D corner rule) lands in a
+// tile this shard owns, so a scatter across all shards returns every
+// result exactly once. Payload: Scope image, then string sql. Replies
+// are the ordinary FrameResult / FrameDescribe.
+const FrameScopedQuery FrameType = 0x06
+
+// Scope describes the cluster's spatial ownership function: a fixed
+// grid over Bounds with Cols×Rows tiles, tile (col,row) owned by shard
+// (row*Cols+col) % NShards. Shard is the receiver's index in [0,NShards).
+type Scope struct {
+	MinX, MinY, MaxX, MaxY float64
+	Cols, Rows             int
+	NShards, Shard         int
+}
+
+// Validate rejects scopes no server should execute under.
+func (sc Scope) Validate() error {
+	if !(sc.MinX < sc.MaxX) || !(sc.MinY < sc.MaxY) {
+		return fmt.Errorf("wire: scope with empty bounds [%g,%g]x[%g,%g]", sc.MinX, sc.MaxX, sc.MinY, sc.MaxY)
+	}
+	if sc.Cols < 1 || sc.Rows < 1 {
+		return fmt.Errorf("wire: scope with %dx%d grid", sc.Cols, sc.Rows)
+	}
+	if sc.Cols > 1<<16 || sc.Rows > 1<<16 {
+		return fmt.Errorf("wire: scope grid %dx%d too large", sc.Cols, sc.Rows)
+	}
+	if sc.NShards < 1 || sc.Shard < 0 || sc.Shard >= sc.NShards {
+		return fmt.Errorf("wire: scope shard %d of %d", sc.Shard, sc.NShards)
+	}
+	return nil
+}
+
+// AppendScopedQuery encodes a ScopedQuery payload.
+func AppendScopedQuery(dst []byte, sc Scope, sql string) []byte {
+	p := payload{b: dst}
+	p.f64(sc.MinX)
+	p.f64(sc.MinY)
+	p.f64(sc.MaxX)
+	p.f64(sc.MaxY)
+	p.u64(uint64(sc.Cols))
+	p.u64(uint64(sc.Rows))
+	p.u64(uint64(sc.NShards))
+	p.u64(uint64(sc.Shard))
+	p.str(sql)
+	return p.b
+}
+
+// ParseScopedQuery decodes a ScopedQuery payload and validates the
+// scope.
+func ParseScopedQuery(b []byte) (Scope, string, error) {
+	p := pReader{b: b}
+	var sc Scope
+	var err error
+	for _, dst := range []*float64{&sc.MinX, &sc.MinY, &sc.MaxX, &sc.MaxY} {
+		if *dst, err = p.f64(); err != nil {
+			return sc, "", err
+		}
+	}
+	for _, dst := range []*int{&sc.Cols, &sc.Rows, &sc.NShards, &sc.Shard} {
+		v, err := p.u64()
+		if err != nil {
+			return sc, "", err
+		}
+		if v > 1<<31 {
+			return sc, "", fmt.Errorf("wire: scope field %d out of range", v)
+		}
+		*dst = int(v)
+	}
+	sql, err := p.str()
+	if err != nil {
+		return sc, "", err
+	}
+	if err := p.done(); err != nil {
+		return sc, "", err
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, "", err
+	}
+	return sc, sql, nil
+}

@@ -60,6 +60,11 @@ type JoinOptions struct {
 	// cache, > 0 gives this join a private cache of that byte size, and
 	// < 0 disables caching (ablation switch).
 	GeomCacheBytes int
+	// Scope, when non-nil, restricts the result to the pairs this
+	// cluster shard owns under the reference-point rule (see
+	// ClusterScope): the shard-side half of a scatter-gather cluster
+	// join. The cluster's replication margin must cover Distance.
+	Scope *ClusterScope
 }
 
 // CacheStats summarises the decoded-geometry cache (see
@@ -243,6 +248,16 @@ func (db *DB) SpatialJoin(tableA, indexA, tableB, indexB string, opt JoinOptions
 		unpin()
 		trace.Finish()
 		return nil, err
+	}
+	if opt.Scope != nil {
+		scur, serr := sjoin.ScopedPairFilter(cur, a, b, cfg.Distance, cfg.GeomCache, opt.Scope.OwnsPoint)
+		if serr != nil {
+			cur.Close()
+			unpin()
+			trace.Finish()
+			return nil, serr
+		}
+		cur = scur
 	}
 	return &JoinCursor{cur: cur, unpin: unpin, trace: trace}, nil
 }
